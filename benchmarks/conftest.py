@@ -1,0 +1,56 @@
+"""Shared, session-cached computations for the benchmark harness.
+
+The figure benchmarks share expensive sweeps (Fig. 5's strategy grid,
+Fig. 6/7's architecture sweeps); session fixtures compute each once.
+"""
+
+import pytest
+
+from repro.explore import design_space, mg_flit_sweep, strategy_comparison
+
+#: Paper-scale resolution used by the figure sweeps (fast analytic model).
+INPUT_SIZE = 224
+NUM_CLASSES = 1000
+
+
+@pytest.fixture(scope="session")
+def fig5_results():
+    """Fig. 5 grid: 4 models x 3 strategies at the default architecture."""
+    return strategy_comparison(
+        ["resnet18", "vgg19", "mobilenetv2", "efficientnetb0"],
+        input_size=INPUT_SIZE,
+        num_classes=NUM_CLASSES,
+    )
+
+
+@pytest.fixture(scope="session")
+def fig6_results():
+    """Fig. 6 sweep: MG size x flit width, generic mapping."""
+    return {
+        model: mg_flit_sweep(
+            model, "generic", input_size=INPUT_SIZE, num_classes=NUM_CLASSES
+        )
+        for model in ("resnet18", "efficientnetb0")
+    }
+
+
+@pytest.fixture(scope="session")
+def fig7_results(fig6_results):
+    """Fig. 7 scatter: generic vs DP-optimized across the HW grid."""
+    out = {}
+    for model, limit in (("resnet18", None), ("efficientnetb0", 64)):
+        dp_points = []
+        from repro.config import default_arch, with_flit_bytes, with_mg_size
+        from repro.explore import FLIT_SIZES, MG_SIZES, evaluate_fast
+
+        for flit in FLIT_SIZES:
+            for mg in MG_SIZES:
+                arch = with_flit_bytes(with_mg_size(default_arch(), mg), flit)
+                dp_points.append(
+                    evaluate_fast(
+                        model, arch, "dp", INPUT_SIZE, NUM_CLASSES,
+                        closure_limit=limit,
+                    )
+                )
+        out[model] = {"generic": fig6_results[model], "dp": dp_points}
+    return out

@@ -1,0 +1,78 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. Dependency-closure enumeration vs prefix-only fallback: the full
+   closure set can only improve (never worsen) the DP objective.
+2. Duplication inside the DP: disabling weight duplication degrades the
+   plan, isolating how much of the gain comes from duplication vs stage
+   placement.
+3. Strategy cost on the compile side: static instruction footprints.
+"""
+
+from repro.compiler import (
+    CostModel,
+    build_geometries,
+    compile_graph,
+    condense,
+    dp_partition,
+)
+from repro.config import default_arch
+from repro.graph.models import get_model
+
+
+def _prep(model, input_size=64):
+    graph = get_model(model, input_size=input_size, num_classes=100)
+    arch = default_arch()
+    cgraph = condense(graph)
+    geoms = build_geometries(cgraph, arch)
+    return cgraph, geoms, arch
+
+
+def test_bench_ablation_closure_enumeration(benchmark):
+    cgraph, geoms, arch = _prep("resnet18")
+    cm = CostModel(arch)
+    full = dp_partition(cgraph, geoms, arch, cm)
+    prefix_only = dp_partition(cgraph, geoms, arch, cm, closure_limit=1)
+    print(
+        f"\nclosure ablation (resnet18): full-DP cost {full.total_cost:,.0f} "
+        f"({len(full.stages)} stages) vs prefix-only "
+        f"{prefix_only.total_cost:,.0f} ({len(prefix_only.stages)} stages)"
+    )
+    assert full.total_cost <= prefix_only.total_cost + 1e-9
+    benchmark.pedantic(
+        lambda: dp_partition(cgraph, geoms, arch, cm), rounds=1, iterations=1
+    )
+
+
+def test_bench_ablation_duplication(benchmark):
+    cgraph, geoms, arch = _prep("resnet18")
+    cm = CostModel(arch)
+    with_dup = dp_partition(cgraph, geoms, arch, cm, duplicate=True)
+    without = dp_partition(cgraph, geoms, arch, cm, duplicate=False)
+    print(
+        f"\nduplication ablation (resnet18): with {with_dup.total_cost:,.0f}"
+        f" vs without {without.total_cost:,.0f} "
+        f"({without.total_cost / with_dup.total_cost:.2f}x worse)"
+    )
+    assert with_dup.total_cost <= without.total_cost
+    benchmark.pedantic(
+        lambda: dp_partition(cgraph, geoms, arch, cm, duplicate=False),
+        rounds=1, iterations=1,
+    )
+
+
+def test_bench_ablation_codegen_footprint(benchmark):
+    arch = default_arch()
+    graph = get_model("resnet18", input_size=32, num_classes=100)
+    rows = []
+    for strategy in ("generic", "duplication", "dp"):
+        compiled = compile_graph(graph, arch, strategy)
+        rows.append((strategy, compiled.total_instructions(),
+                     compiled.plan.num_stages))
+    print("\ncodegen footprint (resnet18@32):")
+    for strategy, instructions, stages in rows:
+        print(f"  {strategy:<12s}: {instructions:>9,} static instructions, "
+              f"{stages} stages")
+    assert all(count > 0 for _, count, _ in rows)
+    benchmark.pedantic(
+        lambda: compile_graph(graph, arch, "generic"), rounds=1, iterations=1
+    )

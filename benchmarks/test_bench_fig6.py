@@ -1,0 +1,72 @@
+"""Fig. 6: energy breakdown and throughput vs MG size and NoC bandwidth.
+
+Paper claims reproduced (shape):
+
+- ResNet18: throughput improves as MG size grows from 4 to 16; compute-unit
+  energy is the dominant component; doubling the flit size boosts
+  inter-layer pipeline throughput measurably.
+- EfficientNetB0: MG scaling yields only modest throughput gains
+  (saturation); the NoC is a dominant energy component at small MG sizes
+  (paper: up to 55.4% of the tracked components).
+
+The breakdown covers the paper's three plotted components (local memory /
+compute units / NoC), as in the figure's legend.
+"""
+
+from repro.explore import evaluate_fast
+
+
+def _component_shares(point):
+    g = point.report.grouped_energy_mj()
+    tracked = g["local_mem"] + g["compute"] + g["noc"]
+    return {k: g[k] / tracked for k in ("local_mem", "compute", "noc")}, tracked
+
+
+def test_bench_fig6(benchmark, fig6_results):
+    print("\nFig. 6: energy breakdown + throughput (generic mapping)")
+    header = (
+        f"{'model':<16s}{'MG':>4s}{'flit':>6s}{'TOPS':>8s}{'E(comp) mJ':>12s}"
+        f"{'local%':>8s}{'comp%':>8s}{'noc%':>8s}"
+    )
+    print(header)
+    for model, points in fig6_results.items():
+        for pt in points:
+            shares, tracked = _component_shares(pt)
+            print(
+                f"{model:<16s}{pt.mg_size:>4d}{pt.flit_bytes:>6d}"
+                f"{pt.tops:>8.2f}{tracked:>12.3f}"
+                f"{100 * shares['local_mem']:>8.1f}"
+                f"{100 * shares['compute']:>8.1f}"
+                f"{100 * shares['noc']:>8.1f}"
+            )
+
+    resnet = {(p.mg_size, p.flit_bytes): p for p in fig6_results["resnet18"]}
+    effnet = {(p.mg_size, p.flit_bytes): p for p in fig6_results["efficientnetb0"]}
+
+    # ResNet18: MG scaling helps substantially (4 -> 16 at either flit width)
+    for flit in (8, 16):
+        gain = resnet[(16, flit)].tops / resnet[(4, flit)].tops
+        assert gain > 1.15, f"ResNet18 MG scaling gain {gain:.2f} too small"
+    # ResNet18: compute dominates its tracked energy at the default point
+    shares, _ = _component_shares(resnet[(8, 8)])
+    assert shares["compute"] > shares["noc"]
+    assert shares["compute"] > shares["local_mem"]
+    # ResNet18: wider flits raise pipeline throughput
+    assert resnet[(8, 16)].tops > resnet[(8, 8)].tops
+
+    # EfficientNetB0: MG scaling saturates (much smaller relative gain)
+    eff_gain = effnet[(16, 8)].tops / effnet[(4, 8)].tops
+    res_gain = resnet[(16, 8)].tops / resnet[(4, 8)].tops
+    assert eff_gain < res_gain
+    assert eff_gain < 1.25, f"EfficientNetB0 gain {eff_gain:.2f} should saturate"
+    # EfficientNetB0: NoC dominates the tracked energy at small MG
+    shares, _ = _component_shares(effnet[(4, 16)])
+    assert shares["noc"] > 0.40, (
+        f"EfficientNetB0 NoC share {shares['noc']:.2f} (paper: up to 55.4%)"
+    )
+
+    benchmark.pedantic(
+        lambda: evaluate_fast("efficientnetb0", strategy="generic",
+                              input_size=224),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,52 @@
+"""Fig. 7: the SW/HW design space, generic vs optimized mapping.
+
+Paper claims reproduced (shape):
+
+- optimized (DP) mapping points dominate the generic-mapping points of the
+  same hardware configuration (higher throughput);
+- compiler optimization compresses (or inverts) the spread between
+  hardware configurations: the throughput ratio between the best and worst
+  hardware point shrinks under the optimized mapping, showing why isolated
+  HW-only or SW-only exploration misses co-design opportunities.
+"""
+
+from repro.explore import evaluate_fast
+
+
+def test_bench_fig7(benchmark, fig7_results):
+    print("\nFig. 7: design space (energy mJ, throughput TOPS) by MG/flit")
+    for model, by_strategy in fig7_results.items():
+        for strategy, points in by_strategy.items():
+            for pt in points:
+                print(
+                    f"{model:<16s}{strategy:>8s}  MG={pt.mg_size:<3d}"
+                    f"flit={pt.flit_bytes:<3d} E={pt.energy_mj:8.2f} "
+                    f"TOPS={pt.tops:7.2f}"
+                )
+
+    for model, by_strategy in fig7_results.items():
+        generic = {(p.mg_size, p.flit_bytes): p for p in by_strategy["generic"]}
+        optimized = {(p.mg_size, p.flit_bytes): p for p in by_strategy["dp"]}
+
+        # optimized mapping dominates per hardware configuration
+        wins = sum(
+            1 for key in generic if optimized[key].tops >= generic[key].tops
+        )
+        assert wins >= len(generic) - 1, (
+            f"{model}: optimized mapping should dominate ({wins}/{len(generic)})"
+        )
+
+        # compiler optimization narrows the hardware spread
+        def spread(points):
+            tops = [p.tops for p in points.values()]
+            return max(tops) / min(tops)
+
+        assert spread(optimized) <= spread(generic) * 1.10, (
+            f"{model}: optimization should compress the HW spread "
+            f"({spread(optimized):.2f} vs {spread(generic):.2f})"
+        )
+
+    benchmark.pedantic(
+        lambda: evaluate_fast("resnet18", strategy="dp", input_size=224),
+        rounds=1, iterations=1,
+    )

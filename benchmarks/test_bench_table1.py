@@ -1,0 +1,48 @@
+"""Table I: the default architecture parameters, and compile throughput.
+
+Regenerates the paper's Table I from the preset and benchmarks the
+end-to-end compilation flow on it.
+"""
+
+from repro.compiler import compile_graph
+from repro.config import default_arch
+from repro.graph.models import get_model
+
+
+def test_bench_table1(benchmark):
+    arch = default_arch()
+
+    # --- regenerate Table I ---------------------------------------------
+    chip, core = arch.chip, arch.chip.core
+    macro = core.cim_unit.macro_group.macro
+    rows = [
+        ("Core num.", chip.num_cores, "CIM comp. unit (#MG)",
+         core.cim_unit.num_macro_groups, "Macro",
+         f"{macro.rows}x{macro.cols}"),
+        ("NoC flit size", f"{chip.noc.flit_bytes} Byte", "Macro group (#macro)",
+         core.cim_unit.macro_group.num_macros, "Element",
+         f"{macro.element_rows}x{macro.element_bits}"),
+        ("Global mem.", f"{chip.global_memory.size_bytes >> 20} MB",
+         "Local mem.", f"{core.local_memory.size_bytes >> 10} KB", "", ""),
+    ]
+    print("\nTable I: architecture parameters of the default architecture")
+    print(f"{'Chip level':<24s} {'Core level':<32s} {'Unit level':<18s}")
+    for a, b, c, d, e, f in rows:
+        print(f"{a:<14s} {str(b):<9s} {c:<24s} {str(d):<7s} {e:<8s} {str(f):<10s}")
+
+    # --- paper values asserted -------------------------------------------
+    assert chip.num_cores == 64
+    assert chip.noc.flit_bytes == 8
+    assert chip.global_memory.size_bytes == 16 << 20
+    assert core.cim_unit.num_macro_groups == 16
+    assert core.cim_unit.macro_group.num_macros == 8
+    assert core.local_memory.size_bytes == 512 << 10
+    assert (macro.rows, macro.cols) == (512, 64)
+    assert (macro.element_rows, macro.element_bits) == (32, 8)
+
+    # --- benchmark: full compilation on the Table I chip ------------------
+    graph = get_model("resnet18", input_size=32, num_classes=100)
+    compiled = benchmark.pedantic(
+        lambda: compile_graph(graph, arch, "generic"), rounds=1, iterations=1
+    )
+    assert compiled.total_instructions() > 0

@@ -1,0 +1,33 @@
+"""Architectural design-space exploration (the Fig. 6 / Fig. 7 workflow).
+
+Sweeps macro-group size (4..16 macros) and NoC flit width (8/16 bytes)
+for ResNet18 and EfficientNetB0 at paper-scale 224x224 resolution using
+the fast row-granular pipeline model, then prints the energy breakdown
+and throughput of every point -- the raw material of the paper's Fig. 6
+bar charts and Fig. 7 scatter.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.explore import mg_flit_sweep
+
+
+def main() -> None:
+    for model in ("resnet18", "efficientnetb0"):
+        print(f"\n{model} @ 224x224, generic mapping")
+        print(f"{'MG':>4s}{'flit':>6s}{'TOPS':>8s}{'E mJ':>8s}"
+              f"{'local%':>8s}{'compute%':>10s}{'noc%':>7s}")
+        for pt in mg_flit_sweep(model, "generic", input_size=224):
+            g = pt.report.grouped_energy_mj()
+            tracked = g["local_mem"] + g["compute"] + g["noc"]
+            print(
+                f"{pt.mg_size:>4d}{pt.flit_bytes:>6d}{pt.tops:>8.2f}"
+                f"{tracked:>8.2f}"
+                f"{100 * g['local_mem'] / tracked:>8.1f}"
+                f"{100 * g['compute'] / tracked:>10.1f}"
+                f"{100 * g['noc'] / tracked:>7.1f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

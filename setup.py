@@ -1,0 +1,5 @@
+from setuptools import setup
+
+# Thin shim so legacy `pip install -e .` works without network access to
+# build-system requirements; all metadata lives in pyproject.toml.
+setup()

@@ -1,0 +1,63 @@
+"""CIMFlow reproduction: an integrated framework for systematic design and
+evaluation of digital Compute-in-Memory (CIM) architectures.
+
+This package reproduces the system described in "CIMFlow: An Integrated
+Framework for Systematic Design and Evaluation of Digital CIM Architectures"
+(DAC 2025).  It provides:
+
+- :mod:`repro.config`  -- hierarchical hardware abstraction (chip / core /
+  unit) and the energy/latency parameter library.
+- :mod:`repro.isa`     -- the 32-bit CIMFlow instruction set: formats,
+  encoding, assembler and the extension registry.
+- :mod:`repro.graph`   -- DNN computation-graph IR, shape inference, INT8
+  quantisation and the model zoo (ResNet18, VGG19, MobileNetV2,
+  EfficientNetB0).
+- :mod:`repro.compiler` -- the two-level compilation flow: CG-level DP-based
+  partitioning/mapping and OP-level loop transformations plus code
+  generation.
+- :mod:`repro.sim`     -- the cycle-accurate multi-core simulator with NoC
+  and energy models, the functional golden model, and the fast analytical
+  model.
+- :mod:`repro.workflow` -- the out-of-the-box `compile -> simulate -> report`
+  pipeline and design-space sweep drivers.
+"""
+
+from repro.errors import (
+    CapacityError,
+    CompileError,
+    ConfigError,
+    ISAError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.config import ArchConfig, EnergyConfig, default_arch
+from repro.explore import DesignPoint, design_space, evaluate_fast, mg_flit_sweep
+from repro.sim.fastmodel import FastReport, analyze_plan
+from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ArchConfig",
+    "EnergyConfig",
+    "default_arch",
+    "compile_model",
+    "simulate",
+    "run_workflow",
+    "WorkflowResult",
+    "evaluate_fast",
+    "design_space",
+    "mg_flit_sweep",
+    "DesignPoint",
+    "analyze_plan",
+    "FastReport",
+    "ReproError",
+    "ConfigError",
+    "ISAError",
+    "CompileError",
+    "CapacityError",
+    "SimulationError",
+    "ValidationError",
+    "__version__",
+]

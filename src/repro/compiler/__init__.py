@@ -1,0 +1,46 @@
+"""The CIMFlow compiler: CG-level and OP-level optimization (Sec. III-C)."""
+
+from repro.compiler.closures import closure_masks, prefix_masks
+from repro.compiler.cost import CostModel, StageEstimate
+from repro.compiler.frontend import CondensedGraph, CondensedNode, condense
+from repro.compiler.geometry import NodeGeometry, WeightTile, build_geometry
+from repro.compiler.mapping import optimal_mapping
+from repro.compiler.partition import (
+    PartitionResult,
+    StageDecision,
+    dp_partition,
+    greedy_partition,
+)
+from repro.compiler.pipeline import CompiledModel, compile_graph
+from repro.compiler.plan import ExecutionPlan, GLOBAL_BASE, StagePlan
+from repro.compiler.strategies import (
+    STRATEGIES,
+    build_geometries,
+    partition_with_strategy,
+)
+
+__all__ = [
+    "condense",
+    "CondensedGraph",
+    "CondensedNode",
+    "NodeGeometry",
+    "WeightTile",
+    "build_geometry",
+    "build_geometries",
+    "closure_masks",
+    "prefix_masks",
+    "CostModel",
+    "StageEstimate",
+    "optimal_mapping",
+    "dp_partition",
+    "greedy_partition",
+    "PartitionResult",
+    "StageDecision",
+    "partition_with_strategy",
+    "STRATEGIES",
+    "ExecutionPlan",
+    "StagePlan",
+    "GLOBAL_BASE",
+    "compile_graph",
+    "CompiledModel",
+]

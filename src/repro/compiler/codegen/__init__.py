@@ -1,0 +1,18 @@
+"""OP-level code generation: layout, lowering, and the global image."""
+
+from repro.compiler.codegen.layout import (
+    CoreStageLayout,
+    InputBuffer,
+    SegmentAllocator,
+    build_core_layout,
+)
+from repro.compiler.codegen.lowering import ProgramGenerator, build_global_image
+
+__all__ = [
+    "SegmentAllocator",
+    "InputBuffer",
+    "CoreStageLayout",
+    "build_core_layout",
+    "ProgramGenerator",
+    "build_global_image",
+]

@@ -1,0 +1,188 @@
+"""DP-based model partitioning and mapping (Algorithm 1).
+
+The model is divided into sequential *execution stages* so each stage's
+weights fit the chip's CIM capacity simultaneously.  Dependency closures
+of the condensed DAG are enumerated as bitmasks; every pair of nested
+closures ``D[j] subset D[i]`` defines a candidate stage ``D[i] - D[j]``;
+``OptimalMapping`` prices each candidate (with duplication), and dynamic
+programming selects the partition chain with minimum total cost.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import ArchConfig
+from repro.errors import CompileError
+from repro.compiler.closures import (
+    DEFAULT_CLOSURE_LIMIT,
+    closure_masks,
+    is_subset,
+    mask_nodes,
+)
+from repro.compiler.cost import CostModel, StageEstimate
+from repro.compiler.frontend import CondensedGraph
+from repro.compiler.geometry import NodeGeometry
+from repro.compiler.mapping import optimal_mapping
+
+
+@dataclass
+class StageDecision:
+    """One chosen stage: its node indices and replica counts."""
+
+    node_indices: List[int]
+    replicas: Dict[str, int]
+    estimate: StageEstimate
+
+
+@dataclass
+class PartitionResult:
+    """The full partition chain plus its estimated cost."""
+
+    stages: List[StageDecision]
+    total_cost: float
+
+    @property
+    def total_latency(self) -> int:
+        return sum(s.estimate.latency for s in self.stages)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(s.estimate.energy_pj for s in self.stages)
+
+
+def _spill_flags(cgraph: CondensedGraph, stage_nodes: List[int]) -> Dict[str, bool]:
+    """Which stage nodes must write their output to global memory."""
+    in_stage = set(stage_nodes)
+    flags: Dict[str, bool] = {}
+    for index in stage_nodes:
+        node = cgraph.nodes[index]
+        consumers = cgraph.consumers(node)
+        external = any(c not in in_stage for c in consumers)
+        flags[node.name] = external or cgraph.is_graph_output(node) or not consumers
+    return flags
+
+
+def dp_partition(
+    cgraph: CondensedGraph,
+    geometries: Dict[str, NodeGeometry],
+    arch: ArchConfig,
+    cost_model: Optional[CostModel] = None,
+    duplicate: bool = True,
+    closure_limit: int = DEFAULT_CLOSURE_LIMIT,
+) -> PartitionResult:
+    """Algorithm 1: DP-based partitioning and mapping."""
+    cost_model = cost_model or CostModel(arch)
+    deps = cgraph.dep_list()
+    masks = closure_masks(deps, closure_limit)
+    index_of = {mask: i for i, mask in enumerate(masks)}
+    full = (1 << len(cgraph)) - 1
+    if full not in index_of:
+        raise CompileError("closure enumeration lost the full graph")
+
+    INF = float("inf")
+    dp = [INF] * len(masks)
+    prev = [-1] * len(masks)
+    decision: List[Optional[StageDecision]] = [None] * len(masks)
+    stage_cache: Dict[int, Optional[Tuple[Dict[str, int], StageEstimate]]] = {}
+
+    def price_stage(stage_mask: int) -> Optional[Tuple[Dict[str, int], StageEstimate]]:
+        if stage_mask not in stage_cache:
+            nodes = mask_nodes(stage_mask)
+            geoms = [geometries[cgraph.nodes[i].name] for i in nodes]
+            spill = _spill_flags(cgraph, nodes)
+            stage_cache[stage_mask] = optimal_mapping(
+                geoms, arch, cost_model, duplicate=duplicate, spill=spill
+            )
+        return stage_cache[stage_mask]
+
+    for i, mask_i in enumerate(masks):
+        if mask_i == 0:
+            dp[i] = 0.0
+            continue
+        for j in range(len(masks)):
+            mask_j = masks[j]
+            if mask_j == mask_i or not is_subset(mask_j, mask_i):
+                continue
+            if dp[j] == INF:
+                continue
+            stage_mask = mask_i & ~mask_j
+            priced = price_stage(stage_mask)
+            if priced is None:
+                continue
+            replicas, estimate = priced
+            cost = dp[j] + estimate.cost
+            if cost < dp[i]:
+                dp[i] = cost
+                prev[i] = j
+                decision[i] = StageDecision(
+                    node_indices=mask_nodes(stage_mask),
+                    replicas=replicas,
+                    estimate=estimate,
+                )
+
+    final = index_of[full]
+    if dp[final] == INF:
+        raise CompileError(
+            "no feasible partition: some stage cannot fit the chip even alone"
+        )
+    stages: List[StageDecision] = []
+    cursor = final
+    while masks[cursor] != 0:
+        stages.append(decision[cursor])
+        cursor = prev[cursor]
+    stages.reverse()
+    return PartitionResult(stages=stages, total_cost=dp[final])
+
+
+def greedy_partition(
+    cgraph: CondensedGraph,
+    geometries: Dict[str, NodeGeometry],
+    arch: ArchConfig,
+    cost_model: Optional[CostModel] = None,
+    duplicate: bool = False,
+) -> PartitionResult:
+    """Baseline partitioning: pack the linear order greedily by capacity.
+
+    This is the conventional scheme both baselines in Sec. IV-B use:
+    stages are maximal prefixes of the linearization whose single-replica
+    mappings fit the chip.  With ``duplicate=True`` the leftover cores of
+    each stage are then filled by opportunistic weight duplication
+    (CIM-MLC's strategy); with ``False`` it is the generic mapping.
+    """
+    cost_model = cost_model or CostModel(arch)
+    stages: List[StageDecision] = []
+    current: List[int] = []
+
+    def close_stage() -> None:
+        if not current:
+            return
+        geoms = [geometries[cgraph.nodes[i].name] for i in current]
+        spill = _spill_flags(cgraph, current)
+        priced = optimal_mapping(
+            geoms, arch, cost_model, duplicate=duplicate, spill=spill
+        )
+        if priced is None:  # pragma: no cover - guarded by the fit check
+            raise CompileError("greedy stage unexpectedly infeasible")
+        replicas, estimate = priced
+        stages.append(
+            StageDecision(
+                node_indices=list(current), replicas=replicas, estimate=estimate
+            )
+        )
+        current.clear()
+
+    used_cores = 0
+    for index, node in enumerate(cgraph.nodes):
+        need = geometries[node.name].cores_min
+        if current and used_cores + need > arch.num_cores:
+            close_stage()
+            used_cores = 0
+        if need > arch.num_cores:
+            raise CompileError(
+                f"{node.name} needs {need} cores, chip has {arch.num_cores}"
+            )
+        current.append(index)
+        used_cores += need
+    close_stage()
+    total = sum(s.estimate.cost for s in stages)
+    return PartitionResult(stages=stages, total_cost=total)

@@ -1,0 +1,148 @@
+"""End-to-end compilation driver: ONNX-like graph -> per-core programs.
+
+``compile_graph`` runs the full flow of Fig. 4: preprocessing and
+condensation, CG-level partitioning/mapping under the selected strategy,
+core and row assignment, global-memory layout, and OP-level code
+generation, returning a :class:`CompiledModel` ready for simulation.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.errors import CompileError
+from repro.compiler.codegen.lowering import ProgramGenerator, build_global_image
+from repro.compiler.cost import CostModel
+from repro.compiler.frontend import CondensedGraph, condense
+from repro.compiler.plan import (
+    ExecutionPlan,
+    GLOBAL_BASE,
+    assign_cores_and_rows,
+    layout_global_memory,
+)
+from repro.compiler.strategies import (
+    STRATEGIES,
+    build_geometries,
+    partition_with_strategy,
+)
+from repro.graph.graph import ComputationGraph
+from repro.isa import ISARegistry, Program, default_registry
+
+
+@dataclass
+class CompiledModel:
+    """The compiler's final product.
+
+    ``programs`` maps every core id to its finalized ISA program;
+    ``global_image`` is the initial global-memory content (packed weight
+    tiles and biases); tensors listed in ``plan.tensor_address`` live in
+    global memory at run time (model inputs must be written there before
+    simulation, spilled activations and graph outputs appear there after).
+    """
+
+    plan: ExecutionPlan
+    programs: Dict[int, Program]
+    global_image: np.ndarray
+    registry: ISARegistry = field(default_factory=default_registry)
+
+    @property
+    def graph(self) -> ComputationGraph:
+        return self.plan.graph
+
+    @property
+    def arch(self) -> ArchConfig:
+        return self.plan.arch
+
+    def input_address(self, tensor: Optional[str] = None) -> int:
+        """Global address of a model input tensor."""
+        inputs = self.graph.input_operators
+        if tensor is None:
+            if len(inputs) != 1:
+                raise CompileError("model has multiple inputs; name one")
+            tensor = inputs[0].output
+        return self.plan.tensor_address[tensor]
+
+    def output_address(self, tensor: Optional[str] = None) -> int:
+        """Global address of a graph output tensor."""
+        if tensor is None:
+            if len(self.graph.outputs) != 1:
+                raise CompileError("model has multiple outputs; name one")
+            tensor = self.graph.outputs[0]
+        resolved = self.plan.cgraph.resolve(tensor)
+        return self.plan.tensor_address[resolved]
+
+    def total_instructions(self) -> int:
+        return sum(len(p) for p in self.programs.values())
+
+    def summary(self) -> str:
+        return (
+            f"{self.plan.summary()}\n"
+            f"  {self.total_instructions()} static instructions across "
+            f"{len(self.programs)} cores, "
+            f"global image {len(self.global_image) / 1024:.1f} KiB"
+        )
+
+
+def plan_graph(
+    graph: ComputationGraph,
+    arch: ArchConfig,
+    strategy: str = "dp",
+    closure_limit: Optional[int] = None,
+    cost_model: Optional[CostModel] = None,
+) -> ExecutionPlan:
+    """Run CG-level compilation only (no code generation).
+
+    Returns the :class:`ExecutionPlan` -- partition stages, clusters,
+    replicas -- which the fast analytical model can evaluate directly.
+    Wide design-space sweeps use this path; :func:`compile_graph` adds
+    OP-level code generation on top for cycle-accurate simulation.
+    """
+    arch.validate()
+    cgraph = condense(graph)
+    geometries = build_geometries(cgraph, arch)
+    cost_model = cost_model or CostModel(arch)
+    partition = partition_with_strategy(
+        strategy, cgraph, geometries, arch, cost_model, closure_limit
+    )
+    stages = assign_cores_and_rows(cgraph, geometries, partition, arch)
+    return ExecutionPlan(
+        graph=graph,
+        cgraph=cgraph,
+        arch=arch,
+        strategy=strategy,
+        geometries=geometries,
+        stages=stages,
+        partition=partition,
+    )
+
+
+def compile_graph(
+    graph: ComputationGraph,
+    arch: ArchConfig,
+    strategy: str = "dp",
+    registry: Optional[ISARegistry] = None,
+    closure_limit: Optional[int] = None,
+) -> CompiledModel:
+    """Compile a computation graph for a CIM architecture.
+
+    ``strategy`` selects the CG-level optimization: ``"generic"``,
+    ``"duplication"`` (CIM-MLC-style opportunistic duplication), or
+    ``"dp"`` (Algorithm 1).
+    """
+    if strategy not in STRATEGIES:
+        raise CompileError(
+            f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+        )
+    plan = plan_graph(graph, arch, strategy, closure_limit)
+    layout_global_memory(plan)
+    generator = ProgramGenerator(plan, registry)
+    programs = generator.generate()
+    image = build_global_image(plan)
+    return CompiledModel(
+        plan=plan,
+        programs=programs,
+        global_image=image,
+        registry=registry or default_registry(),
+    )

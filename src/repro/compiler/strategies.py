@@ -1,0 +1,57 @@
+"""The three compilation strategies evaluated in the paper (Sec. IV-B).
+
+- ``generic``: inter-layer pipelining without operator duplication --
+  stages are greedy capacity-filling prefixes, one replica per node.
+- ``duplication``: the CIM-MLC-style baseline -- the same greedy stages,
+  then opportunistic weight duplication into each stage's vacant cores.
+- ``dp``: this paper's contribution -- Algorithm 1's dependency-closure
+  DP choosing stage boundaries and duplication jointly.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.config import ArchConfig
+from repro.errors import CompileError
+from repro.compiler.cost import CostModel
+from repro.compiler.frontend import CondensedGraph
+from repro.compiler.geometry import NodeGeometry, build_geometry
+from repro.compiler.partition import PartitionResult, dp_partition, greedy_partition
+
+#: Strategy names accepted across the public API.
+STRATEGIES = ("generic", "duplication", "dp")
+
+
+def build_geometries(
+    cgraph: CondensedGraph, arch: ArchConfig
+) -> Dict[str, NodeGeometry]:
+    """Geometry for every condensed node."""
+    return {
+        node.name: build_geometry(node, arch, cgraph.graph)
+        for node in cgraph.nodes
+    }
+
+
+def partition_with_strategy(
+    strategy: str,
+    cgraph: CondensedGraph,
+    geometries: Dict[str, NodeGeometry],
+    arch: ArchConfig,
+    cost_model: CostModel = None,
+    closure_limit: int = None,
+) -> PartitionResult:
+    """Run the named partitioning strategy."""
+    cost_model = cost_model or CostModel(arch)
+    if strategy == "generic":
+        return greedy_partition(cgraph, geometries, arch, cost_model, duplicate=False)
+    if strategy == "duplication":
+        return greedy_partition(cgraph, geometries, arch, cost_model, duplicate=True)
+    if strategy == "dp":
+        kwargs = {}
+        if closure_limit is not None:
+            kwargs["closure_limit"] = closure_limit
+        return dp_partition(
+            cgraph, geometries, arch, cost_model, duplicate=True, **kwargs
+        )
+    raise CompileError(
+        f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+    )

@@ -1,0 +1,50 @@
+"""Hierarchical hardware abstraction and parameter library (Sec. III-B)."""
+
+from repro.config.arch import (
+    ArchConfig,
+    ChipConfig,
+    CIMUnitConfig,
+    CoreConfig,
+    GlobalMemoryConfig,
+    LocalMemoryConfig,
+    MacroConfig,
+    MacroGroupConfig,
+    NoCConfig,
+    RegisterFileConfig,
+    ScalarUnitConfig,
+    VectorUnitConfig,
+)
+from repro.config.energy import EnergyConfig
+from repro.config.loader import arch_from_dict, arch_to_dict, load_arch, save_arch
+from repro.config.presets import (
+    default_arch,
+    small_test_arch,
+    with_flit_bytes,
+    with_mg_size,
+    with_num_cores,
+)
+
+__all__ = [
+    "ArchConfig",
+    "ChipConfig",
+    "CoreConfig",
+    "CIMUnitConfig",
+    "MacroGroupConfig",
+    "MacroConfig",
+    "VectorUnitConfig",
+    "ScalarUnitConfig",
+    "LocalMemoryConfig",
+    "RegisterFileConfig",
+    "NoCConfig",
+    "GlobalMemoryConfig",
+    "EnergyConfig",
+    "default_arch",
+    "small_test_arch",
+    "with_mg_size",
+    "with_flit_bytes",
+    "with_num_cores",
+    "arch_to_dict",
+    "arch_from_dict",
+    "save_arch",
+    "load_arch",
+]

@@ -1,0 +1,97 @@
+"""Serialisation of architecture configurations to/from JSON.
+
+The paper's workflow takes a user-supplied architecture configuration file;
+this module implements that interface.  The JSON layout mirrors the
+dataclass hierarchy one-to-one, so a configuration file documents itself.
+"""
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.config.arch import (
+    ArchConfig,
+    ChipConfig,
+    CIMUnitConfig,
+    CoreConfig,
+    GlobalMemoryConfig,
+    LocalMemoryConfig,
+    MacroConfig,
+    MacroGroupConfig,
+    NoCConfig,
+    RegisterFileConfig,
+    ScalarUnitConfig,
+    VectorUnitConfig,
+)
+from repro.config.energy import EnergyConfig
+from repro.errors import ConfigError
+
+
+def arch_to_dict(arch: ArchConfig) -> Dict[str, Any]:
+    """Convert an :class:`ArchConfig` into a plain, JSON-safe dictionary."""
+    return dataclasses.asdict(arch)
+
+
+def _build(cls, data: Dict[str, Any], nested: Dict[str, Any]):
+    """Construct dataclass ``cls`` from ``data``, recursing into ``nested``
+    (a map of field name -> dataclass type).  Unknown keys are rejected so
+    typos in config files fail loudly."""
+    field_names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ConfigError(
+            f"unknown keys for {cls.__name__}: {sorted(unknown)}"
+        )
+    kwargs = {}
+    for key, value in data.items():
+        if key in nested and isinstance(value, dict):
+            kwargs[key] = arch_component_from_dict(nested[key], value)
+        else:
+            kwargs[key] = value
+    return cls(**kwargs)
+
+
+_NESTED = {
+    ArchConfig: {"chip": ChipConfig, "energy": EnergyConfig},
+    ChipConfig: {
+        "core": CoreConfig,
+        "noc": NoCConfig,
+        "global_memory": GlobalMemoryConfig,
+    },
+    CoreConfig: {
+        "cim_unit": CIMUnitConfig,
+        "vector_unit": VectorUnitConfig,
+        "scalar_unit": ScalarUnitConfig,
+        "local_memory": LocalMemoryConfig,
+        "register_file": RegisterFileConfig,
+    },
+    CIMUnitConfig: {"macro_group": MacroGroupConfig},
+    MacroGroupConfig: {"macro": MacroConfig},
+}
+
+
+def arch_component_from_dict(cls, data: Dict[str, Any]):
+    """Build any component dataclass from its dictionary form."""
+    return _build(cls, data, _NESTED.get(cls, {}))
+
+
+def arch_from_dict(data: Dict[str, Any]) -> ArchConfig:
+    """Reconstruct an :class:`ArchConfig` from :func:`arch_to_dict` output."""
+    arch = arch_component_from_dict(ArchConfig, data)
+    arch.validate()
+    return arch
+
+
+def save_arch(arch: ArchConfig, path: Union[str, Path]) -> None:
+    """Write an architecture configuration file (JSON)."""
+    Path(path).write_text(json.dumps(arch_to_dict(arch), indent=2))
+
+
+def load_arch(path: Union[str, Path]) -> ArchConfig:
+    """Read and validate an architecture configuration file (JSON)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"malformed architecture file {path}: {exc}") from exc
+    return arch_from_dict(data)

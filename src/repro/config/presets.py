@@ -1,0 +1,97 @@
+"""Architecture presets, including the paper's default configuration.
+
+Table I of the paper:
+
+=============  =======================  ==================
+Chip level     Core level               Unit level
+=============  =======================  ==================
+Core num 64    CIM comp. unit 16 #MG    Macro 512 x 64
+NoC flit 8 B   Macro group 8 #macro     Element 32 x 8
+Global 16 MB   Local mem 512 KB
+=============  =======================  ==================
+"""
+
+import dataclasses
+
+from repro.config.arch import (
+    ArchConfig,
+    ChipConfig,
+    CIMUnitConfig,
+    CoreConfig,
+    GlobalMemoryConfig,
+    LocalMemoryConfig,
+    MacroConfig,
+    MacroGroupConfig,
+    NoCConfig,
+)
+from repro.config.energy import EnergyConfig
+
+
+def default_arch() -> ArchConfig:
+    """The paper's default architecture (Table I)."""
+    macro = MacroConfig(rows=512, cols=64, element_rows=32, element_bits=8)
+    mg = MacroGroupConfig(num_macros=8, macro=macro)
+    cim = CIMUnitConfig(num_macro_groups=16, macro_group=mg)
+    core = CoreConfig(
+        cim_unit=cim,
+        local_memory=LocalMemoryConfig(size_bytes=512 * 1024),
+    )
+    chip = ChipConfig(
+        num_cores=64,
+        core=core,
+        noc=NoCConfig(flit_bytes=8),
+        global_memory=GlobalMemoryConfig(size_bytes=16 * 1024 * 1024),
+    )
+    return ArchConfig(chip=chip, energy=EnergyConfig())
+
+
+def small_test_arch(num_cores: int = 4) -> ArchConfig:
+    """A deliberately tiny architecture for fast unit tests.
+
+    4 cores, 2 MGs of 2 macros each (64x16 arrays), 16 KB local memory.
+    Small capacities force the partitioner and tiling passes to do real
+    work even on toy models.
+    """
+    macro = MacroConfig(rows=64, cols=32, element_rows=16, element_bits=8)
+    mg = MacroGroupConfig(num_macros=2, macro=macro)
+    cim = CIMUnitConfig(num_macro_groups=4, macro_group=mg)
+    core = CoreConfig(
+        cim_unit=cim,
+        local_memory=LocalMemoryConfig(size_bytes=16 * 1024, num_segments=4),
+    )
+    chip = ChipConfig(
+        num_cores=num_cores,
+        core=core,
+        noc=NoCConfig(flit_bytes=8),
+        global_memory=GlobalMemoryConfig(size_bytes=1024 * 1024, access_latency=10),
+    )
+    return ArchConfig(chip=chip, energy=EnergyConfig())
+
+
+def with_mg_size(arch: ArchConfig, num_macros: int) -> ArchConfig:
+    """Return a copy of ``arch`` with ``num_macros`` macros per macro group.
+
+    This is the "MG size" axis of the paper's Fig. 6 / Fig. 7 sweeps
+    (4 / 8 / 12 / 16 macros per group).
+    """
+    mg = dataclasses.replace(
+        arch.chip.core.cim_unit.macro_group, num_macros=num_macros
+    )
+    cim = dataclasses.replace(arch.chip.core.cim_unit, macro_group=mg)
+    core = dataclasses.replace(arch.chip.core, cim_unit=cim)
+    chip = dataclasses.replace(arch.chip, core=core)
+    return dataclasses.replace(arch, chip=chip)
+
+
+def with_flit_bytes(arch: ArchConfig, flit_bytes: int) -> ArchConfig:
+    """Return a copy of ``arch`` with the given NoC flit size (link
+    bandwidth per cycle), the second axis of Fig. 6 / Fig. 7."""
+    noc = dataclasses.replace(arch.chip.noc, flit_bytes=flit_bytes)
+    chip = dataclasses.replace(arch.chip, noc=noc)
+    return dataclasses.replace(arch, chip=chip)
+
+
+def with_num_cores(arch: ArchConfig, num_cores: int) -> ArchConfig:
+    """Return a copy of ``arch`` with a different core count."""
+    chip = dataclasses.replace(arch.chip, num_cores=num_cores)
+    return dataclasses.replace(arch, chip=chip)

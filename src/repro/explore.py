@@ -1,0 +1,147 @@
+"""Design-space exploration drivers behind the paper's evaluation section.
+
+These functions regenerate the experiments of Sec. IV:
+
+- :func:`evaluate_fast` -- plan a (model, architecture, strategy) point and
+  analyse it with the row-granular fast model (used at paper-scale
+  224x224 resolution, DESIGN.md substitution #5);
+- :func:`strategy_comparison` -- Fig. 5 (normalized speed/energy of the
+  three compilation strategies);
+- :func:`mg_flit_sweep` -- Fig. 6 (energy breakdown and throughput across
+  macro-group sizes and NoC flit widths);
+- :func:`design_space` -- Fig. 7 (the SW/HW co-design scatter).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import ArchConfig, default_arch, with_flit_bytes, with_mg_size
+from repro.compiler.pipeline import plan_graph
+from repro.compiler.plan import ExecutionPlan
+from repro.graph.graph import ComputationGraph
+from repro.graph.models import get_model
+from repro.sim.fastmodel import FastReport, analyze_plan
+
+#: Axes the paper sweeps in Fig. 6 / Fig. 7.
+MG_SIZES = (4, 8, 12, 16)
+FLIT_SIZES = (8, 16)
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated (model, architecture, strategy) combination."""
+
+    model: str
+    strategy: str
+    mg_size: int
+    flit_bytes: int
+    report: FastReport
+    plan: ExecutionPlan = field(repr=False, default=None)
+
+    @property
+    def cycles(self) -> int:
+        return self.report.cycles
+
+    @property
+    def energy_mj(self) -> float:
+        return self.report.total_energy_mj
+
+    @property
+    def tops(self) -> float:
+        return self.report.tops
+
+
+_graph_cache: Dict[Tuple[str, int, int], ComputationGraph] = {}
+
+
+def _cached_graph(model: str, input_size: int, num_classes: int) -> ComputationGraph:
+    key = (model, input_size, num_classes)
+    if key not in _graph_cache:
+        _graph_cache[key] = get_model(
+            model, input_size=input_size, num_classes=num_classes
+        )
+    return _graph_cache[key]
+
+
+def evaluate_fast(
+    model: str,
+    arch: Optional[ArchConfig] = None,
+    strategy: str = "dp",
+    input_size: int = 224,
+    num_classes: int = 1000,
+    closure_limit: Optional[int] = None,
+) -> DesignPoint:
+    """Plan and analyse one design point with the fast model."""
+    arch = arch or default_arch()
+    graph = _cached_graph(model, input_size, num_classes)
+    plan = plan_graph(graph, arch, strategy, closure_limit)
+    report = analyze_plan(plan)
+    return DesignPoint(
+        model=model,
+        strategy=strategy,
+        mg_size=arch.chip.core.cim_unit.macro_group.num_macros,
+        flit_bytes=arch.chip.noc.flit_bytes,
+        report=report,
+        plan=plan,
+    )
+
+
+def strategy_comparison(
+    models: Iterable[str],
+    arch: Optional[ArchConfig] = None,
+    strategies: Iterable[str] = ("generic", "duplication", "dp"),
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> Dict[str, Dict[str, DesignPoint]]:
+    """Fig. 5: every strategy on every model at the default architecture."""
+    arch = arch or default_arch()
+    results: Dict[str, Dict[str, DesignPoint]] = {}
+    for model in models:
+        results[model] = {}
+        for strategy in strategies:
+            results[model][strategy] = evaluate_fast(
+                model, arch, strategy, input_size, num_classes
+            )
+    return results
+
+
+def mg_flit_sweep(
+    model: str,
+    strategy: str = "generic",
+    mg_sizes: Iterable[int] = MG_SIZES,
+    flit_sizes: Iterable[int] = FLIT_SIZES,
+    base_arch: Optional[ArchConfig] = None,
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> List[DesignPoint]:
+    """Fig. 6 / Fig. 7 hardware axes: MG size x NoC flit width."""
+    base = base_arch or default_arch()
+    points = []
+    for flit in flit_sizes:
+        for mg in mg_sizes:
+            arch = with_flit_bytes(with_mg_size(base, mg), flit)
+            points.append(
+                evaluate_fast(model, arch, strategy, input_size, num_classes)
+            )
+    return points
+
+
+def design_space(
+    model: str,
+    strategies: Iterable[str] = ("generic", "dp"),
+    mg_sizes: Iterable[int] = MG_SIZES,
+    flit_sizes: Iterable[int] = FLIT_SIZES,
+    base_arch: Optional[ArchConfig] = None,
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> List[DesignPoint]:
+    """Fig. 7: the full SW/HW cross product for one model."""
+    points = []
+    for strategy in strategies:
+        points.extend(
+            mg_flit_sweep(
+                model, strategy, mg_sizes, flit_sizes, base_arch,
+                input_size, num_classes,
+            )
+        )
+    return points

@@ -1,0 +1,30 @@
+"""DNN computation-graph IR, quantisation, serialisation and model zoo."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+from repro.graph.onnx_like import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph,
+    save_graph,
+)
+from repro.graph.ops import ELEMENTWISE_KINDS, MVM_KINDS, Operator, OpKind
+from repro.graph.quantize import QuantParams
+from repro.graph.shape_inference import infer_output_shape
+from repro.graph.tensor import TensorInfo
+
+__all__ = [
+    "ComputationGraph",
+    "GraphBuilder",
+    "Operator",
+    "OpKind",
+    "MVM_KINDS",
+    "ELEMENTWISE_KINDS",
+    "TensorInfo",
+    "QuantParams",
+    "infer_output_shape",
+    "graph_to_dict",
+    "graph_from_dict",
+    "save_graph",
+    "load_graph",
+]

@@ -1,0 +1,59 @@
+"""Model zoo: the paper's evaluation suite plus small test models.
+
+Every builder takes ``input_size`` so benchmarks can run the full-depth
+layer stacks at reduced resolution (DESIGN.md substitution #5) and ``seed``
+for reproducible synthetic INT8 weights.
+"""
+
+from typing import Callable, Dict, List
+
+from repro.errors import GraphError
+from repro.graph.graph import ComputationGraph
+from repro.graph.models.efficientnet import efficientnet_b0
+from repro.graph.models.mobilenet import mobilenet_v2
+from repro.graph.models.resnet import resnet18
+from repro.graph.models.simple import tiny_cnn, tiny_mlp, tiny_resnet
+from repro.graph.models.vgg import vgg19
+
+_REGISTRY: Dict[str, Callable[..., ComputationGraph]] = {
+    "resnet18": resnet18,
+    "vgg19": vgg19,
+    "mobilenetv2": mobilenet_v2,
+    "efficientnetb0": efficientnet_b0,
+    "tiny_cnn": tiny_cnn,
+    "tiny_mlp": tiny_mlp,
+    "tiny_resnet": tiny_resnet,
+}
+
+#: The four DNNs of the paper's evaluation suite (Sec. IV-A).
+PAPER_SUITE = ("resnet18", "vgg19", "mobilenetv2", "efficientnetb0")
+
+
+def available_models() -> List[str]:
+    """Names accepted by :func:`get_model`."""
+    return sorted(_REGISTRY)
+
+
+def get_model(name: str, **kwargs) -> ComputationGraph:
+    """Build a model from the zoo by name."""
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; available: {available_models()}"
+        ) from None
+    return builder(**kwargs)
+
+
+__all__ = [
+    "resnet18",
+    "vgg19",
+    "mobilenet_v2",
+    "efficientnet_b0",
+    "tiny_cnn",
+    "tiny_mlp",
+    "tiny_resnet",
+    "get_model",
+    "available_models",
+    "PAPER_SUITE",
+]

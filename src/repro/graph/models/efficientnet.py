@@ -1,0 +1,90 @@
+"""EfficientNet-B0 (Tan & Le, 2019): MBConv blocks with squeeze-excite
+gating and SiLU activations.
+
+Squeeze-excite is kept (global average pool -> two FC layers -> sigmoid ->
+per-channel scale) because its tiny tensors and channel-broadcast multiply
+stress exactly the auxiliary-operator paths of the compiler and vector
+unit.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+#: (expand t, channels c, repeats n, first stride s, kernel k)
+_CFG = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+_SE_RATIO = 4  # squeeze dimension = block input channels / 4
+
+
+def _round_channels(channels: int, width_mult: float) -> int:
+    return max(8, int(round(channels * width_mult / 8)) * 8)
+
+
+def _squeeze_excite(
+    b: GraphBuilder, x: str, gated_c: int, se_dim: int, tag: str
+) -> str:
+    s = b.global_avgpool(x, name=f"{tag}_se_gap")
+    s = b.gemm(s, se_dim, name=f"{tag}_se_fc1")
+    s = b.silu(s, name=f"{tag}_se_silu")
+    s = b.gemm(s, gated_c, name=f"{tag}_se_fc2")
+    s = b.sigmoid(s, name=f"{tag}_se_gate")
+    return b.mul_channel(x, s, name=f"{tag}_se_scale")
+
+
+def _mbconv(
+    b: GraphBuilder, x: str, in_c: int, out_c: int, stride: int, expand: int,
+    kernel: int, tag: str,
+) -> str:
+    identity = x
+    hidden = in_c * expand
+    y = x
+    if expand != 1:
+        y = b.conv(y, hidden, 1, 1, 0, name=f"{tag}_expand")
+        y = b.silu(y, name=f"{tag}_expand_silu")
+    y = b.dwconv(y, kernel, stride, kernel // 2, name=f"{tag}_dw")
+    y = b.silu(y, name=f"{tag}_dw_silu")
+    se_dim = max(8, in_c // _SE_RATIO)
+    y = _squeeze_excite(b, y, hidden, se_dim, tag)
+    y = b.conv(y, out_c, 1, 1, 0, name=f"{tag}_project")
+    if stride == 1 and in_c == out_c:
+        y = b.add(y, identity, name=f"{tag}_add")
+    return y
+
+
+def efficientnet_b0(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 30,
+) -> ComputationGraph:
+    """Build EfficientNet-B0 at the given input resolution."""
+    b = GraphBuilder(f"efficientnetb0_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, 3))
+    stem_c = _round_channels(32, width_mult)
+    x = b.conv(x, stem_c, 3, 2, 1, name="stem_conv")
+    x = b.silu(x, name="stem_silu")
+
+    in_c = stem_c
+    for stage_idx, (t, c, n, s, k) in enumerate(_CFG, start=1):
+        out_c = _round_channels(c, width_mult)
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            tag = f"mb{stage_idx}_{block_idx}"
+            x = _mbconv(b, x, in_c, out_c, stride, t, k, tag)
+            in_c = out_c
+
+    head_c = _round_channels(1280, width_mult)
+    x = b.conv(x, head_c, 1, 1, 0, name="head_conv")
+    x = b.silu(x, name="head_silu")
+    x = b.global_avgpool(x, name="gap")
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,74 @@
+"""MobileNetV2 (Sandler et al., 2018): inverted residuals with linear
+bottlenecks and depthwise separable convolutions.
+
+The compact-weight-footprint structure of this model is what makes the
+paper's DP-based partitioning shine (Sec. IV-B): its small layers leave
+greedy partitioners with few vacant cores to exploit.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+#: (expand_ratio t, output channels c, repeats n, first stride s)
+_CFG = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _round_channels(channels: int, width_mult: float) -> int:
+    return max(8, int(round(channels * width_mult / 8)) * 8)
+
+
+def _inverted_residual(
+    b: GraphBuilder, x: str, in_c: int, out_c: int, stride: int, expand: int,
+    tag: str,
+) -> str:
+    identity = x
+    hidden = in_c * expand
+    y = x
+    if expand != 1:
+        y = b.conv(y, hidden, 1, 1, 0, name=f"{tag}_expand")
+        y = b.relu6(y, name=f"{tag}_expand_relu")
+    y = b.dwconv(y, 3, stride, 1, name=f"{tag}_dw")
+    y = b.relu6(y, name=f"{tag}_dw_relu")
+    y = b.conv(y, out_c, 1, 1, 0, name=f"{tag}_project")
+    if stride == 1 and in_c == out_c:
+        y = b.add(y, identity, name=f"{tag}_add")
+    return y
+
+
+def mobilenet_v2(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 22,
+) -> ComputationGraph:
+    """Build MobileNetV2 at the given input resolution."""
+    b = GraphBuilder(f"mobilenetv2_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, 3))
+    stem_c = _round_channels(32, width_mult)
+    x = b.conv(x, stem_c, 3, 2, 1, name="stem_conv")
+    x = b.relu6(x, name="stem_relu")
+
+    in_c = stem_c
+    for stage_idx, (t, c, n, s) in enumerate(_CFG, start=1):
+        out_c = _round_channels(c, width_mult)
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            tag = f"ir{stage_idx}_{block_idx}"
+            x = _inverted_residual(b, x, in_c, out_c, stride, t, tag)
+            in_c = out_c
+
+    head_c = _round_channels(1280, width_mult)
+    x = b.conv(x, head_c, 1, 1, 0, name="head_conv")
+    x = b.relu6(x, name="head_relu")
+    x = b.global_avgpool(x, name="gap")
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()

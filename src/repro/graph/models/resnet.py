@@ -1,0 +1,63 @@
+"""ResNet-18 (He et al., 2016) with BatchNorm folded into convolutions.
+
+The layer topology matches torchvision's ``resnet18``: a 7x7/2 stem,
+3x3/2 max-pool, four stages of two BasicBlocks (64/128/256/512 channels,
+stride-2 downsampling with 1x1 projection shortcuts), global average
+pooling and a final fully-connected classifier.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+_STAGES = ((64, 1), (128, 2), (256, 2), (512, 2))
+_BLOCKS_PER_STAGE = 2
+
+
+def _round_channels(channels: int, width_mult: float) -> int:
+    return max(8, int(round(channels * width_mult / 8)) * 8)
+
+
+def _basic_block(
+    b: GraphBuilder, x: str, in_c: int, out_c: int, stride: int, tag: str
+) -> str:
+    identity = x
+    y = b.conv(x, out_c, 3, stride, 1, name=f"{tag}_conv1")
+    y = b.relu(y, name=f"{tag}_relu1")
+    y = b.conv(y, out_c, 3, 1, 1, name=f"{tag}_conv2")
+    if stride != 1 or in_c != out_c:
+        identity = b.conv(x, out_c, 1, stride, 0, name=f"{tag}_down")
+    y = b.add(y, identity, name=f"{tag}_add")
+    return b.relu(y, name=f"{tag}_relu2")
+
+
+def resnet18(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    seed: int = 18,
+) -> ComputationGraph:
+    """Build ResNet-18 at the given input resolution.
+
+    ``width_mult`` scales all channel counts (rounded to multiples of 8),
+    which the test suite uses for fast narrow variants.
+    """
+    b = GraphBuilder(f"resnet18_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, 3))
+    stem_c = _round_channels(64, width_mult)
+    x = b.conv(x, stem_c, 7, 2, 3, name="stem_conv")
+    x = b.relu(x, name="stem_relu")
+    x = b.maxpool(x, 3, 2, 1, name="stem_pool")
+
+    in_c = stem_c
+    for stage_idx, (channels, first_stride) in enumerate(_STAGES, start=1):
+        out_c = _round_channels(channels, width_mult)
+        for block_idx in range(_BLOCKS_PER_STAGE):
+            stride = first_stride if block_idx == 0 else 1
+            tag = f"s{stage_idx}b{block_idx}"
+            x = _basic_block(b, x, in_c, out_c, stride, tag)
+            in_c = out_c
+
+    x = b.global_avgpool(x, name="gap")
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()

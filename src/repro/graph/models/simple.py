@@ -1,0 +1,63 @@
+"""Small models for tests, examples and quickstarts."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+
+def tiny_mlp(
+    in_features: int = 64,
+    hidden: int = 32,
+    num_classes: int = 10,
+    seed: int = 1,
+) -> ComputationGraph:
+    """A two-layer MLP over a flat input vector."""
+    b = GraphBuilder("tiny_mlp", seed=seed)
+    x = b.input((in_features,))
+    x = b.gemm(x, hidden, name="fc1")
+    x = b.relu(x, name="fc1_relu")
+    x = b.gemm(x, num_classes, name="fc2")
+    b.output(x)
+    return b.build()
+
+
+def tiny_cnn(
+    input_size: int = 8,
+    channels: int = 8,
+    num_classes: int = 10,
+    seed: int = 2,
+) -> ComputationGraph:
+    """A two-convolution CNN with pooling, sized for the test architecture."""
+    b = GraphBuilder(f"tiny_cnn_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, channels))
+    x = b.conv(x, channels, 3, 1, 1, name="conv1")
+    x = b.relu(x, name="relu1")
+    x = b.maxpool(x, 2, 2, name="pool1")
+    x = b.conv(x, 2 * channels, 3, 1, 1, name="conv2")
+    x = b.relu(x, name="relu2")
+    x = b.global_avgpool(x, name="gap")
+    x = b.gemm(x, num_classes, name="fc")
+    b.output(x)
+    return b.build()
+
+
+def tiny_resnet(
+    input_size: int = 8,
+    channels: int = 8,
+    num_classes: int = 10,
+    seed: int = 3,
+) -> ComputationGraph:
+    """A single residual block plus classifier; exercises fused adds."""
+    b = GraphBuilder(f"tiny_resnet_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, channels))
+    x = b.conv(x, channels, 3, 1, 1, name="stem")
+    x = b.relu(x, name="stem_relu")
+    identity = x
+    y = b.conv(x, channels, 3, 1, 1, name="block_conv1")
+    y = b.relu(y, name="block_relu1")
+    y = b.conv(y, channels, 3, 1, 1, name="block_conv2")
+    y = b.add(y, identity, name="block_add")
+    y = b.relu(y, name="block_relu2")
+    y = b.global_avgpool(y, name="gap")
+    y = b.gemm(y, num_classes, name="fc")
+    b.output(y)
+    return b.build()

@@ -1,0 +1,55 @@
+"""VGG-19 (Simonyan & Zisserman, 2015), configuration E.
+
+Sixteen 3x3 convolutions in five max-pooled stages followed by the
+three-layer fully-connected classifier.  The first classifier layer adapts
+to the flattened feature size, so the model is valid at any input
+resolution divisible by 32.
+"""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import ComputationGraph
+
+#: Configuration E: channel counts with 'M' max-pool markers.
+_CFG = (
+    64, 64, "M",
+    128, 128, "M",
+    256, 256, 256, 256, "M",
+    512, 512, 512, 512, "M",
+    512, 512, 512, 512, "M",
+)
+
+
+def _round_channels(channels: int, width_mult: float) -> int:
+    return max(8, int(round(channels * width_mult / 8)) * 8)
+
+
+def vgg19(
+    input_size: int = 224,
+    num_classes: int = 1000,
+    width_mult: float = 1.0,
+    fc_features: int = 4096,
+    seed: int = 19,
+) -> ComputationGraph:
+    """Build VGG-19 at the given input resolution."""
+    b = GraphBuilder(f"vgg19_{input_size}", seed=seed)
+    x = b.input((input_size, input_size, 3))
+    conv_idx = 0
+    pool_idx = 0
+    for entry in _CFG:
+        if entry == "M":
+            pool_idx += 1
+            x = b.maxpool(x, 2, 2, name=f"pool{pool_idx}")
+        else:
+            conv_idx += 1
+            channels = _round_channels(int(entry), width_mult)
+            x = b.conv(x, channels, 3, 1, 1, name=f"conv{conv_idx}")
+            x = b.relu(x, name=f"relu{conv_idx}")
+    x = b.flatten(x, name="flatten")
+    fc_dim = _round_channels(fc_features, width_mult)
+    x = b.gemm(x, fc_dim, name="fc1")
+    x = b.relu(x, name="fc1_relu")
+    x = b.gemm(x, fc_dim, name="fc2")
+    x = b.relu(x, name="fc2_relu")
+    x = b.gemm(x, num_classes, name="fc3")
+    b.output(x)
+    return b.build()

@@ -1,0 +1,101 @@
+"""Shape inference for every operator kind.
+
+Layout conventions (see :mod:`repro.graph.tensor`): feature maps are
+``(H, W, C)``, flat vectors are ``(N,)``.  Convolutions use square kernels
+with symmetric padding.
+"""
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import GraphError
+from repro.graph.ops import OpKind
+
+Shape = Tuple[int, ...]
+
+
+def conv_output_hw(h: int, w: int, kernel: int, stride: int, padding: int) -> Tuple[int, int]:
+    """Spatial output size of a convolution/pooling window."""
+    if kernel <= 0 or stride <= 0 or padding < 0:
+        raise GraphError("kernel/stride must be positive, padding non-negative")
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise GraphError(
+            f"window k={kernel} s={stride} p={padding} does not fit input "
+            f"{h}x{w}"
+        )
+    return out_h, out_w
+
+
+def _expect_fmap(shape: Shape, kind: OpKind) -> Shape:
+    if len(shape) != 3:
+        raise GraphError(f"{kind.value} expects an (H, W, C) input, got {shape}")
+    return shape
+
+
+def infer_output_shape(
+    kind: OpKind, input_shapes: List[Shape], attrs: Dict[str, Any]
+) -> Shape:
+    """Output shape of an operator given its input shapes and attributes."""
+    if kind is OpKind.INPUT:
+        shape = attrs.get("shape")
+        if not shape:
+            raise GraphError("INPUT operator needs a 'shape' attribute")
+        return tuple(shape)
+
+    first = tuple(input_shapes[0])
+    if kind is OpKind.CONV:
+        h, w, _ = _expect_fmap(first, kind)
+        out_h, out_w = conv_output_hw(
+            h, w, attrs["kernel"], attrs["stride"], attrs["padding"]
+        )
+        return (out_h, out_w, attrs["out_channels"])
+
+    if kind is OpKind.DWCONV:
+        h, w, c = _expect_fmap(first, kind)
+        out_h, out_w = conv_output_hw(
+            h, w, attrs["kernel"], attrs["stride"], attrs["padding"]
+        )
+        return (out_h, out_w, c)
+
+    if kind is OpKind.GEMM:
+        if len(first) != 1:
+            raise GraphError(f"gemm expects a flat (N,) input, got {first}")
+        return (attrs["out_features"],)
+
+    if kind in (OpKind.MAXPOOL, OpKind.AVGPOOL):
+        h, w, c = _expect_fmap(first, kind)
+        out_h, out_w = conv_output_hw(
+            h, w, attrs["kernel"], attrs["stride"], attrs.get("padding", 0)
+        )
+        return (out_h, out_w, c)
+
+    if kind is OpKind.GLOBALAVGPOOL:
+        _, _, c = _expect_fmap(first, kind)
+        return (c,)
+
+    if kind is OpKind.FLATTEN:
+        total = 1
+        for dim in first:
+            total *= dim
+        return (total,)
+
+    if kind is OpKind.ADD:
+        second = tuple(input_shapes[1])
+        if first != second:
+            raise GraphError(f"add shape mismatch: {first} vs {second}")
+        return first
+
+    if kind is OpKind.MUL_CHANNEL:
+        scale = tuple(input_shapes[1])
+        channels = first[-1]
+        if scale != (channels,):
+            raise GraphError(
+                f"mul_channel scale shape {scale} != ({channels},)"
+            )
+        return first
+
+    if kind in (OpKind.RELU, OpKind.RELU6, OpKind.SILU, OpKind.SIGMOID):
+        return first
+
+    raise GraphError(f"no shape rule for operator kind {kind}")

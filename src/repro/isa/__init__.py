@@ -1,0 +1,43 @@
+"""The CIMFlow instruction set architecture (Sec. III-B)."""
+
+from repro.isa.asm import format_instruction, format_program, parse_line, parse_program
+from repro.isa.builder import ProgramBuilder
+from repro.isa.encoding import decode, encode
+from repro.isa.extension import ISARegistry, default_registry
+from repro.isa.formats import FIELD_LAYOUT, Format
+from repro.isa.instruction import Instruction, InstructionDescriptor
+from repro.isa.opcodes import Category, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import (
+    NUM_GENERAL_REGS,
+    NUM_SPECIAL_REGS,
+    SReg,
+    ZERO_REG,
+    reg_name,
+    sreg_name,
+)
+
+__all__ = [
+    "Category",
+    "Opcode",
+    "Format",
+    "FIELD_LAYOUT",
+    "Instruction",
+    "InstructionDescriptor",
+    "ISARegistry",
+    "default_registry",
+    "encode",
+    "decode",
+    "Program",
+    "ProgramBuilder",
+    "parse_line",
+    "parse_program",
+    "format_instruction",
+    "format_program",
+    "SReg",
+    "ZERO_REG",
+    "NUM_GENERAL_REGS",
+    "NUM_SPECIAL_REGS",
+    "reg_name",
+    "sreg_name",
+]

@@ -1,0 +1,126 @@
+"""Instruction descriptors and the :class:`Instruction` value type.
+
+A :class:`InstructionDescriptor` is the "instruction description template"
+from the paper (Sec. III-B): it names an operation, assigns it an opcode,
+binds it to one of the five binary formats, documents its operand fields,
+and -- for user extensions -- carries the performance parameters the
+simulator needs to model it without a hand-written execution handler.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ISAError
+from repro.isa.formats import FIELD_LAYOUT, Format
+from repro.isa.opcodes import Category
+
+
+@dataclass(frozen=True)
+class InstructionDescriptor:
+    """Static description of one operation in the instruction set.
+
+    Attributes
+    ----------
+    mnemonic:
+        Assembly name, e.g. ``"CIM_MVM"``.
+    opcode:
+        6-bit opcode value.
+    category:
+        Instruction class (CIM / vector / scalar / communication / control).
+    fmt:
+        Binary format that lays out the operand fields.
+    operands:
+        Names of the fields that are meaningful for this operation, in
+        assembly order.  Fields of the format not listed here must be zero.
+    description:
+        One-line human documentation.
+    latency:
+        Fixed execution latency in cycles.  Required for extension
+        instructions; built-in instructions use the detailed unit models
+        instead and leave this ``None``.
+    energy_pj:
+        Fixed per-execution energy in picojoules (extensions only).
+    """
+
+    mnemonic: str
+    opcode: int
+    category: Category
+    fmt: Format
+    operands: Tuple[str, ...] = ()
+    description: str = ""
+    latency: Optional[int] = None
+    energy_pj: Optional[float] = None
+
+    def __post_init__(self):
+        if not 0 <= self.opcode < 64:
+            raise ISAError(f"opcode {self.opcode} out of 6-bit range")
+        layout = FIELD_LAYOUT[self.fmt]
+        for operand in self.operands:
+            if operand not in layout:
+                raise ISAError(
+                    f"{self.mnemonic}: operand '{operand}' not present in "
+                    f"format {self.fmt.value}"
+                )
+
+
+@dataclass
+class Instruction:
+    """One concrete instruction: a mnemonic plus operand field values.
+
+    Field values live in ``fields``; unset fields default to zero.  Branch
+    and jump instructions may instead carry a symbolic ``target`` label that
+    :meth:`repro.isa.program.Program.finalize` resolves into the ``offset``
+    field.
+    """
+
+    mnemonic: str
+    fields: Dict[str, int] = field(default_factory=dict)
+    target: Optional[str] = None
+
+    def get(self, name: str) -> int:
+        """Value of field ``name`` (0 when unset)."""
+        return self.fields.get(name, 0)
+
+    # Convenience accessors used pervasively by the simulator -----------
+    @property
+    def rs(self) -> int:
+        return self.get("rs")
+
+    @property
+    def rt(self) -> int:
+        return self.get("rt")
+
+    @property
+    def rd(self) -> int:
+        return self.get("rd")
+
+    @property
+    def re(self) -> int:
+        return self.get("re")
+
+    @property
+    def imm(self) -> int:
+        return self.get("imm")
+
+    @property
+    def offset(self) -> int:
+        return self.get("offset")
+
+    @property
+    def funct(self) -> int:
+        return self.get("funct")
+
+    @property
+    def flags(self) -> int:
+        return self.get("flags")
+
+    def with_field(self, name: str, value: int) -> "Instruction":
+        """Return a copy with field ``name`` set to ``value``."""
+        fields = dict(self.fields)
+        fields[name] = value
+        return Instruction(self.mnemonic, fields, self.target)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.fields.items()))
+        tgt = f", target={self.target!r}" if self.target else ""
+        return f"Instruction({self.mnemonic}, {parts}{tgt})"

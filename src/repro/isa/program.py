@@ -1,0 +1,110 @@
+"""Per-core instruction programs with label resolution.
+
+A :class:`Program` is the unit the compiler emits for each core and the
+simulator loads into a core's instruction memory.  Branch targets may be
+symbolic labels while a program is being built; :meth:`Program.finalize`
+resolves them into relative instruction offsets (``pc += offset``
+semantics, matching the paper's generated-code example ``JMP -26``).
+"""
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import ISAError
+from repro.isa.encoding import encode
+from repro.isa.extension import ISARegistry, default_registry
+from repro.isa.formats import Format, field_width
+from repro.isa.instruction import Instruction
+
+
+class Program:
+    """An ordered list of instructions plus a label table."""
+
+    def __init__(self, registry: Optional[ISARegistry] = None):
+        self.registry = registry or default_registry()
+        self.instructions: List[Instruction] = []
+        self.labels: Dict[str, int] = {}
+        self._finalized = False
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def emit(self, mnemonic: str, **fields) -> Instruction:
+        """Append an instruction; ``target=`` may name a label."""
+        target = fields.pop("target", None)
+        self.registry.lookup(mnemonic)  # validate early
+        instr = Instruction(mnemonic, fields, target)
+        self.instructions.append(instr)
+        self._finalized = False
+        return instr
+
+    def append(self, instr: Instruction) -> Instruction:
+        """Append an already-constructed instruction."""
+        self.registry.lookup(instr.mnemonic)
+        self.instructions.append(instr)
+        self._finalized = False
+        return instr
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position (the next instruction)."""
+        if name in self.labels:
+            raise ISAError(f"duplicate label {name!r}")
+        self.labels[name] = len(self.instructions)
+        return name
+
+    def new_label(self, stem: str = "L") -> str:
+        """Generate a fresh, not-yet-placed label name."""
+        index = len(self.labels)
+        while f"{stem}{index}" in self.labels:
+            index += 1
+        return f"{stem}{index}"
+
+    def place_label(self, name: str) -> None:
+        """Place a label generated earlier with :meth:`new_label`."""
+        if name in self.labels:
+            raise ISAError(f"label {name!r} already placed")
+        self.labels[name] = len(self.instructions)
+
+    def finalize(self) -> "Program":
+        """Resolve symbolic branch targets into relative offsets.
+
+        Branch semantics are ``pc += offset`` when taken, so the offset for
+        an instruction at ``pc`` targeting label position ``L`` is
+        ``L - pc``.  Raises :class:`ISAError` for unknown labels or offsets
+        that do not fit the 16-bit field.
+        """
+        limit = 1 << (field_width(Format.CTL, "offset") - 1)
+        for pc, instr in enumerate(self.instructions):
+            if instr.target is None:
+                continue
+            if instr.target not in self.labels:
+                raise ISAError(f"undefined label {instr.target!r}")
+            offset = self.labels[instr.target] - pc
+            if not -limit <= offset < limit:
+                raise ISAError(
+                    f"branch at {pc} to {instr.target!r}: offset {offset} "
+                    f"exceeds the 16-bit field"
+                )
+            instr.fields["offset"] = offset
+            instr.target = None
+        self._finalized = True
+        return self
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    def encode_all(self) -> List[int]:
+        """Encode the whole program into 32-bit words."""
+        if any(instr.target is not None for instr in self.instructions):
+            self.finalize()
+        return [encode(instr, self.registry) for instr in self.instructions]
+
+    def size_bytes(self) -> int:
+        """Program footprint in instruction memory."""
+        return 4 * len(self.instructions)

@@ -1,0 +1,77 @@
+"""Register file specification: general-purpose (G_Reg) and
+special-purpose (S_Reg) registers (Fig. 3, core level).
+
+General registers are named ``R0``..``R31``; ``R0`` is hardwired to zero
+(writes are ignored), which gives the code generator a free constant and a
+discard target.  Special registers carry operation-specific state consumed
+implicitly by CIM and vector instructions.
+"""
+
+import enum
+
+from repro.errors import ISAError
+
+NUM_GENERAL_REGS = 32
+ZERO_REG = 0
+
+
+class SReg(enum.IntEnum):
+    """Special-purpose register indices.
+
+    The CIM and vector units read these implicitly:
+
+    - ``MVM_ROWS`` / ``MVM_COLS``: the logical tile shape used by
+      ``CIM_CFG`` when (re)configuring a macro group.
+    - ``QMUL`` / ``QSHIFT``: fixed-point requantisation parameters used by
+      ``VEC_QNT`` (out = clip((acc * QMUL) >> QSHIFT)).
+    - ``CORE_ID`` / ``NUM_CORES``: read-only topology information.
+    """
+
+    CORE_ID = 0
+    NUM_CORES = 1
+    MVM_ROWS = 2
+    MVM_COLS = 3
+    QMUL = 4
+    QSHIFT = 5
+    FILL_VALUE = 6
+    STRIDE = 7
+    CHANNEL_LEN = 12
+    CHUNK = 13
+    USER0 = 8
+    USER1 = 9
+    USER2 = 10
+    USER3 = 11
+
+
+NUM_SPECIAL_REGS = 16
+
+#: Special registers the program may not write.
+READ_ONLY_SREGS = frozenset({SReg.CORE_ID, SReg.NUM_CORES})
+
+
+def check_greg(index: int) -> int:
+    """Validate a general-register index and return it."""
+    if not 0 <= index < NUM_GENERAL_REGS:
+        raise ISAError(f"general register index {index} out of range [0, 32)")
+    return index
+
+
+def check_sreg(index: int) -> int:
+    """Validate a special-register index and return it."""
+    if not 0 <= index < NUM_SPECIAL_REGS:
+        raise ISAError(f"special register index {index} out of range [0, 16)")
+    return index
+
+
+def reg_name(index: int) -> str:
+    """Assembly name of a general register."""
+    return f"R{check_greg(index)}"
+
+
+def sreg_name(index: int) -> str:
+    """Assembly name of a special register."""
+    check_sreg(index)
+    try:
+        return f"S_{SReg(index).name}"
+    except ValueError:
+        return f"S{index}"

@@ -1,0 +1,19 @@
+"""The CIMFlow cycle-level simulator (Sec. III-D) and golden model."""
+
+from repro.sim.chip import ChipSimulator
+from repro.sim.energy import EnergyAccountant
+from repro.sim.functional import execute_graph, golden_outputs, random_input
+from repro.sim.memory import MemorySystem
+from repro.sim.noc import NoC
+from repro.sim.report import SimulationReport
+
+__all__ = [
+    "ChipSimulator",
+    "SimulationReport",
+    "MemorySystem",
+    "NoC",
+    "EnergyAccountant",
+    "execute_graph",
+    "golden_outputs",
+    "random_input",
+]

@@ -1,0 +1,163 @@
+"""Chip-level simulation: cores + NoC + global memory + barriers.
+
+Cores execute independently until they block (``RECV`` with no matching
+message, or ``BARRIER``); the scheduler then resolves blocks and resumes.
+Messages carry real data, so simulation is functionally exact and outputs
+can be checked against the golden model.  ``SEND`` is buffered (never
+blocks), which makes the dataflow deadlock-free for any DAG schedule; a
+genuine schedule mismatch (lost or misordered message) is detected and
+reported as a :class:`SimulationError` with per-core state.
+"""
+
+from collections import deque
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.errors import SimulationError
+from repro.isa import ISARegistry, Program, default_registry
+from repro.sim.core import BLOCKED_BARRIER, BLOCKED_RECV, HALTED, RUNNING, Core
+from repro.sim.energy import EnergyAccountant
+from repro.sim.memory import MemorySystem
+from repro.sim.noc import NoC
+from repro.sim.report import SimulationReport
+from repro.utils import ceil_div
+
+
+class ChipSimulator:
+    """Cycle-level simulator for one compiled workload."""
+
+    def __init__(
+        self,
+        arch: ArchConfig,
+        programs: Dict[int, Program],
+        registry: Optional[ISARegistry] = None,
+        global_image: Optional[np.ndarray] = None,
+        extension_handlers: Optional[Dict[str, Callable]] = None,
+    ):
+        arch.validate()
+        self.arch = arch
+        self.registry = registry or default_registry()
+        self.extension_handlers = extension_handlers or {}
+        global_size = len(global_image) if global_image is not None else (
+            arch.chip.global_memory.size_bytes
+        )
+        self.memory = MemorySystem(arch, global_size)
+        if global_image is not None:
+            self.memory.load_global_image(global_image)
+        self.noc = NoC(arch)
+        self.acct = EnergyAccountant(arch.energy)
+        self.channels: Dict[Tuple[int, int], deque] = {}
+        self.cores = [
+            Core(cid, self, programs.get(cid, _empty_program(self.registry)))
+            for cid in range(arch.chip.num_cores)
+        ]
+
+    @classmethod
+    def from_compiled(cls, compiled, **kwargs) -> "ChipSimulator":
+        """Build a simulator for a :class:`CompiledModel`."""
+        return cls(
+            compiled.arch,
+            compiled.programs,
+            registry=compiled.registry,
+            global_image=compiled.global_image,
+            **kwargs,
+        )
+
+    # -- messaging ------------------------------------------------------------
+    def deliver(self, src: int, dst: int, arrival: int, data: np.ndarray) -> None:
+        if not 0 <= dst < len(self.cores):
+            raise SimulationError(f"SEND to nonexistent core {dst}")
+        self.channels.setdefault((src, dst), deque()).append((arrival, data))
+
+    def _try_complete_recv(self, core: Core) -> bool:
+        addr, src, nbytes = core._pending_recv
+        queue = self.channels.get((src, core.core_id))
+        if not queue:
+            return False
+        arrival, data = queue[0]
+        if len(data) != nbytes:
+            raise SimulationError(
+                f"core {core.core_id}: RECV expects {nbytes} B from core "
+                f"{src} but the next message has {len(data)} B"
+            )
+        queue.popleft()
+        local_bw = self.arch.chip.core.local_memory.bandwidth_bytes_per_cycle
+        copy_cycles = ceil_div(max(1, nbytes), local_bw)
+        core.clock = max(core.clock, arrival)
+        core._issue("xfer", copy_cycles)
+        self.memory.write(core.core_id, addr, data)
+        self.acct.local_copy(nbytes)
+        core._pending_recv = None
+        core.pc += 1
+        core.state = RUNNING
+        return True
+
+    # -- main loop ----------------------------------------------------------------
+    def run(self, max_rounds: int = 1_000_000) -> SimulationReport:
+        """Run to completion and return the performance report."""
+        for _ in range(max_rounds):
+            progress = False
+            for core in self.cores:
+                if core.state == RUNNING:
+                    core.run()
+                    progress = True
+            for core in self.cores:
+                if core.state == BLOCKED_RECV and self._try_complete_recv(core):
+                    progress = True
+            waiting = [c for c in self.cores if c.state == BLOCKED_BARRIER]
+            active = [c for c in self.cores if c.state != HALTED]
+            if active and len(waiting) == len(active):
+                release = max(c.clock for c in waiting) + 1
+                for core in waiting:
+                    core.clock = release
+                    core.state = RUNNING
+                progress = True
+            if not active:
+                return self._finish()
+            if not progress:
+                self._report_deadlock()
+        raise SimulationError("simulation exceeded the round limit")
+
+    def _report_deadlock(self) -> None:
+        lines = []
+        for core in self.cores:
+            if core.state == HALTED:
+                continue
+            state = {BLOCKED_RECV: "RECV", BLOCKED_BARRIER: "BARRIER"}.get(
+                core.state, "RUN"
+            )
+            pending = core._pending_recv
+            lines.append(
+                f"  core {core.core_id}: {state} pc={core.pc} "
+                f"clock={core.clock} pending={pending}"
+            )
+        raise SimulationError("simulation deadlock:\n" + "\n".join(lines))
+
+    def _finish(self) -> SimulationReport:
+        cycles = max((c.clock for c in self.cores), default=0)
+        self.acct.static(cycles, self.arch.chip.clock_mhz)
+        busy: Dict[str, int] = {}
+        for core in self.cores:
+            for unit, value in core.busy.items():
+                busy[unit] = busy.get(unit, 0) + value
+        denominator = max(1, cycles) * len(self.cores)
+        utilization = {u: v / denominator for u, v in busy.items()}
+        instructions = sum(c.instructions_retired for c in self.cores)
+        return SimulationReport(
+            arch=self.arch,
+            cycles=cycles,
+            energy_breakdown_pj=self.acct.breakdown(),
+            macs=self.acct.macs,
+            instructions=instructions,
+            utilization=utilization,
+            noc_bytes=self.noc.total_bytes,
+            noc_byte_hops=self.noc.total_byte_hops,
+        )
+
+
+def _empty_program(registry: ISARegistry) -> Program:
+    program = Program(registry)
+    program.emit("HALT")
+    return program.finalize()

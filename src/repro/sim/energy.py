@@ -1,0 +1,87 @@
+"""Energy accounting, broken down by component category.
+
+Categories match the paper's Fig. 6 breakdown: local memory, compute
+units (CIM + vector + scalar), NoC, plus global memory, instruction
+delivery and static leakage tracked separately.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config import EnergyConfig
+
+
+@dataclass
+class EnergyAccountant:
+    """Accumulates picojoules per component category."""
+
+    energy: EnergyConfig
+    pj: Dict[str, float] = field(default_factory=lambda: {
+        "cim_compute": 0.0,
+        "cim_write": 0.0,
+        "vector": 0.0,
+        "scalar": 0.0,
+        "local_mem": 0.0,
+        "global_mem": 0.0,
+        "noc": 0.0,
+        "instruction": 0.0,
+        "static": 0.0,
+    })
+    macs: int = 0
+
+    def add(self, category: str, amount_pj: float) -> None:
+        self.pj[category] += amount_pj
+
+    def instruction(self) -> None:
+        self.pj["instruction"] += self.energy.instruction_pj
+
+    def cim_mvm(self, rows: int, cols: int) -> None:
+        e = self.energy
+        self.macs += rows * cols
+        self.pj["cim_compute"] += (
+            rows * cols * e.cim_mac_pj
+            + rows * e.cim_peripheral_pj_per_mvm_row
+        )
+        # operand fetch / result write-back through the scratchpad
+        self.pj["local_mem"] += (
+            rows * e.local_mem_read_pj_per_byte
+            + 4 * cols * e.local_mem_write_pj_per_byte
+        )
+
+    def cim_load(self, nbytes: int) -> None:
+        self.pj["cim_write"] += nbytes * self.energy.cim_write_pj_per_byte
+        self.pj["local_mem"] += nbytes * self.energy.local_mem_read_pj_per_byte
+
+    def vector_op(self, elements: int, bytes_read: int, bytes_written: int) -> None:
+        e = self.energy
+        self.pj["vector"] += elements * e.vector_op_pj_per_element
+        self.pj["local_mem"] += (
+            bytes_read * e.local_mem_read_pj_per_byte
+            + bytes_written * e.local_mem_write_pj_per_byte
+        )
+
+    def scalar_op(self) -> None:
+        self.pj["scalar"] += self.energy.scalar_op_pj
+
+    def local_copy(self, nbytes: int) -> None:
+        e = self.energy
+        self.pj["local_mem"] += nbytes * (
+            e.local_mem_read_pj_per_byte + e.local_mem_write_pj_per_byte
+        )
+
+    def global_access(self, nbytes: int) -> None:
+        self.pj["global_mem"] += nbytes * self.energy.global_mem_pj_per_byte
+
+    def noc_transfer(self, pj: float) -> None:
+        self.pj["noc"] += pj
+
+    def static(self, cycles: int, clock_mhz: int) -> None:
+        self.pj["static"] += cycles * self.energy.static_pj_per_cycle(clock_mhz)
+
+    @property
+    def total_pj(self) -> float:
+        return sum(self.pj.values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Per-category energy in picojoules (copy)."""
+        return dict(self.pj)

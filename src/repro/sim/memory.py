@@ -1,0 +1,99 @@
+"""The simulated memory system: core-local scratchpads + global memory.
+
+Addresses follow the unified address space of the ISA: ``[0, local_size)``
+is the issuing core's local memory; ``[GLOBAL_BASE, ...)`` is the shared
+global memory.  All data is stored as int8 numpy arrays; multi-byte views
+(int32 accumulators) are taken on demand.
+"""
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.config import ArchConfig
+from repro.config.arch import GLOBAL_BASE
+from repro.errors import SimulationError
+
+
+class MemorySystem:
+    """Backing storage for every core's scratchpad and the global memory."""
+
+    def __init__(self, arch: ArchConfig, global_size: int):
+        self.arch = arch
+        self.local_size = arch.chip.core.local_memory.size_bytes
+        self.locals = [
+            np.zeros(self.local_size, dtype=np.int8)
+            for _ in range(arch.chip.num_cores)
+        ]
+        # Allow the image to exceed the configured global capacity: the
+        # surplus models the off-chip backing store behind the same port.
+        self.global_size = global_size
+        self.global_mem = np.zeros(max(1, global_size), dtype=np.int8)
+
+    def _resolve(self, core_id: int, addr: int, nbytes: int) -> Tuple[np.ndarray, int]:
+        if addr >= GLOBAL_BASE:
+            offset = addr - GLOBAL_BASE
+            if offset + nbytes > len(self.global_mem):
+                raise SimulationError(
+                    f"global access [{offset}, {offset + nbytes}) beyond "
+                    f"image of {len(self.global_mem)} bytes"
+                )
+            return self.global_mem, offset
+        if addr < 0 or addr + nbytes > self.local_size:
+            raise SimulationError(
+                f"core {core_id}: local access [{addr}, {addr + nbytes}) "
+                f"outside scratchpad of {self.local_size} bytes"
+            )
+        return self.locals[core_id], addr
+
+    def is_global(self, addr: int) -> bool:
+        return addr >= GLOBAL_BASE
+
+    def read(self, core_id: int, addr: int, nbytes: int) -> np.ndarray:
+        """Read ``nbytes`` as int8 (copy)."""
+        backing, offset = self._resolve(core_id, addr, nbytes)
+        return backing[offset:offset + nbytes].copy()
+
+    def write(self, core_id: int, addr: int, data: np.ndarray) -> None:
+        """Write int8 bytes."""
+        data = np.ascontiguousarray(data, dtype=np.int8).reshape(-1)
+        backing, offset = self._resolve(core_id, addr, len(data))
+        backing[offset:offset + len(data)] = data
+
+    def read_i32(self, core_id: int, addr: int, count: int) -> np.ndarray:
+        raw = self.read(core_id, addr, 4 * count)
+        return raw.view(np.int32).copy()
+
+    def write_i32(self, core_id: int, addr: int, data: np.ndarray) -> None:
+        data = np.ascontiguousarray(data, dtype=np.int32).reshape(-1)
+        self.write(core_id, addr, data.view(np.int8))
+
+    def read_word(self, core_id: int, addr: int) -> int:
+        return int(self.read_i32(core_id, addr, 1)[0])
+
+    def write_word(self, core_id: int, addr: int, value: int) -> None:
+        self.write_i32(
+            core_id, addr, np.array([value], dtype=np.int64).astype(np.int32)
+        )
+
+    def load_global_image(self, image: np.ndarray) -> None:
+        """Install the compiler's initial global-memory contents."""
+        data = image.view(np.int8)
+        if len(data) > len(self.global_mem):
+            self.global_mem = np.zeros(len(data), dtype=np.int8)
+        self.global_mem[: len(data)] = data
+
+    def write_global(self, addr: int, data: np.ndarray) -> None:
+        """Host-side write (e.g. the model input) into global memory."""
+        offset = addr - GLOBAL_BASE
+        data = np.ascontiguousarray(data, dtype=np.int8).reshape(-1)
+        if offset < 0 or offset + len(data) > len(self.global_mem):
+            grown = np.zeros(offset + len(data), dtype=np.int8)
+            grown[: len(self.global_mem)] = self.global_mem
+            self.global_mem = grown
+        self.global_mem[offset:offset + len(data)] = data
+
+    def read_global(self, addr: int, nbytes: int) -> np.ndarray:
+        """Host-side read (e.g. fetching outputs after simulation)."""
+        offset = addr - GLOBAL_BASE
+        return self.global_mem[offset:offset + nbytes].copy()

@@ -1,0 +1,94 @@
+"""Mesh Network-on-Chip model with XY routing and link contention.
+
+Messages are modelled at message granularity (Noxim-style costs, DESIGN.md
+substitution #4): a transfer serialises onto each directed link of its XY
+route for ``ceil(bytes / flit)`` cycles, links remember when they free up,
+and later messages queue behind earlier ones.  Global-memory traffic is
+routed to a memory port at mesh node (0, 0).
+"""
+
+from typing import Dict, List, Tuple
+
+from repro.config import ArchConfig
+from repro.utils import ceil_div
+
+#: Sentinel node id for the global-memory port (mesh corner 0,0).
+GLOBAL_PORT = -1
+
+
+class NoC:
+    """XY-routed mesh with per-link reservation."""
+
+    def __init__(self, arch: ArchConfig):
+        self.arch = arch
+        self.flit_bytes = arch.chip.noc.flit_bytes
+        self.hop_latency = arch.chip.noc.hop_latency
+        self.router_latency = arch.chip.noc.router_latency
+        self.rows, self.cols = arch.chip.mesh_dims
+        self._link_free: Dict[Tuple[int, int, int, int], int] = {}
+        self.total_bytes = 0
+        self.total_byte_hops = 0
+        self.busy_cycles = 0
+
+    def _position(self, node: int) -> Tuple[int, int]:
+        if node == GLOBAL_PORT:
+            return (0, 0)
+        return self.arch.chip.core_position(node)
+
+    def route(self, src: int, dst: int) -> List[Tuple[int, int, int, int]]:
+        """Directed links of the XY route (X first, then Y)."""
+        r0, c0 = self._position(src)
+        r1, c1 = self._position(dst)
+        links = []
+        r, c = r0, c0
+        while c != c1:
+            step = 1 if c1 > c else -1
+            links.append((r, c, r, c + step))
+            c += step
+        while r != r1:
+            step = 1 if r1 > r else -1
+            links.append((r, c, r + step, c))
+            r += step
+        return links
+
+    def hops(self, src: int, dst: int) -> int:
+        r0, c0 = self._position(src)
+        r1, c1 = self._position(dst)
+        return abs(r0 - r1) + abs(c0 - c1)
+
+    def transfer(self, src: int, dst: int, nbytes: int, start: int) -> int:
+        """Schedule a message; returns its arrival cycle at ``dst``.
+
+        The message head leaves at ``start`` after the router pipeline;
+        each link is held for the serialisation time of the whole message
+        (wormhole at message granularity).
+        """
+        serialization = ceil_div(max(1, nbytes), self.flit_bytes)
+        time = start + self.router_latency
+        for link in self.route(src, dst):
+            free_at = self._link_free.get(link, 0)
+            time = max(time, free_at) + self.hop_latency
+            self._link_free[link] = time + serialization - 1
+        arrival = time + serialization - 1 if self.route(src, dst) else (
+            start + self.router_latency + serialization - 1
+        )
+        hops = self.hops(src, dst)
+        self.total_bytes += nbytes
+        self.total_byte_hops += nbytes * hops
+        self.busy_cycles += serialization * max(1, hops)
+        return max(arrival, start)
+
+    def energy_pj(self, nbytes: int, src: int, dst: int) -> float:
+        """Link + router traversal energy of one message.
+
+        Charged per *flit*: a wider link toggles its full width for every
+        flit, so short messages on wide links pay padding energy -- the
+        effect behind the paper's observation that doubling flit size can
+        cost energy without commensurate benefit (Fig. 6b).
+        """
+        hops = max(1, self.hops(src, dst))
+        flits = ceil_div(max(1, nbytes), self.flit_bytes)
+        return (
+            flits * self.flit_bytes * hops
+            * self.arch.energy.noc_pj_per_byte_per_hop
+        )

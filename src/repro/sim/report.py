@@ -1,0 +1,83 @@
+"""Simulation reports: latency, energy breakdown, throughput, utilization.
+
+This is the "detailed report covering energy consumption, latency, and
+hardware utilization" the paper's workflow produces.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.config import ArchConfig
+
+
+@dataclass
+class SimulationReport:
+    """Performance metrics of one simulated workload execution."""
+
+    arch: ArchConfig
+    cycles: int
+    energy_breakdown_pj: Dict[str, float]
+    macs: int
+    instructions: int
+    utilization: Dict[str, float] = field(default_factory=dict)
+    noc_bytes: int = 0
+    noc_byte_hops: int = 0
+
+    # -- derived metrics ----------------------------------------------------
+    @property
+    def time_ms(self) -> float:
+        return self.cycles * self.arch.chip.cycle_ns / 1e6
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.total_energy_pj / 1e9
+
+    @property
+    def tops(self) -> float:
+        """Achieved INT8 throughput in tera-operations/second (2 ops/MAC)."""
+        seconds = self.cycles * self.arch.chip.cycle_ns / 1e9
+        if seconds <= 0:
+            return 0.0
+        return 2.0 * self.macs / seconds / 1e12
+
+    @property
+    def energy_mj(self) -> Dict[str, float]:
+        return {k: v / 1e9 for k, v in self.energy_breakdown_pj.items()}
+
+    def grouped_energy_mj(self) -> Dict[str, float]:
+        """Energy grouped as in the paper's Fig. 6: local memory / compute
+        units / NoC (global memory, instruction and static reported too)."""
+        e = self.energy_mj
+        return {
+            "local_mem": e.get("local_mem", 0.0),
+            "compute": (
+                e.get("cim_compute", 0.0) + e.get("cim_write", 0.0)
+                + e.get("vector", 0.0) + e.get("scalar", 0.0)
+            ),
+            "noc": e.get("noc", 0.0),
+            "global_mem": e.get("global_mem", 0.0),
+            "other": e.get("instruction", 0.0) + e.get("static", 0.0),
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"cycles            : {self.cycles:,}",
+            f"latency           : {self.time_ms:.3f} ms",
+            f"energy            : {self.total_energy_mj:.4f} mJ",
+            f"throughput        : {self.tops:.3f} TOPS",
+            f"MACs              : {self.macs:,}",
+            f"instructions      : {self.instructions:,}",
+            f"NoC traffic       : {self.noc_bytes / 1024:.1f} KiB "
+            f"({self.noc_byte_hops / 1024:.1f} KiB-hops)",
+            "energy breakdown  :",
+        ]
+        for key, value in sorted(self.grouped_energy_mj().items()):
+            lines.append(f"  {key:12s}: {value:.4f} mJ")
+        lines.append("utilization       :")
+        for unit, value in sorted(self.utilization.items()):
+            lines.append(f"  {unit:12s}: {100 * value:.2f} %")
+        return "\n".join(lines)

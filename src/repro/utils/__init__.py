@@ -1,0 +1,15 @@
+"""Small shared utilities (bit manipulation, math helpers)."""
+
+from repro.utils.bits import bit_length, extract_bits, insert_bits, popcount, sign_extend
+from repro.utils.mathutils import ceil_div, clamp, prod
+
+__all__ = [
+    "ceil_div",
+    "clamp",
+    "prod",
+    "popcount",
+    "bit_length",
+    "extract_bits",
+    "insert_bits",
+    "sign_extend",
+]

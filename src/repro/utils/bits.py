@@ -1,0 +1,49 @@
+"""Bit-manipulation helpers used by the ISA encoder and the partitioner."""
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value`` (which must be non-negative)."""
+    if value < 0:
+        raise ValueError("popcount requires a non-negative integer")
+    return bin(value).count("1")
+
+
+def bit_length(value: int) -> int:
+    """Number of bits needed to represent ``value``."""
+    return max(1, int(value).bit_length())
+
+
+def extract_bits(word: int, lo: int, width: int) -> int:
+    """Extract ``width`` bits of ``word`` starting at bit ``lo`` (LSB = 0)."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def insert_bits(word: int, lo: int, width: int, value: int) -> int:
+    """Return ``word`` with ``width`` bits at ``lo`` replaced by ``value``.
+
+    Raises ``ValueError`` if ``value`` does not fit in ``width`` bits.
+    """
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask) | (value << lo)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as a two's-complement
+    signed integer and return the Python int."""
+    value &= (1 << width) - 1
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a (possibly negative) integer into ``width`` bits, two's
+    complement.  Raises ``ValueError`` when out of range."""
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise ValueError(f"value {value} out of signed {width}-bit range")
+    return value & ((1 << width) - 1)

@@ -1,0 +1,23 @@
+"""Arithmetic helpers shared across the compiler and simulator."""
+
+from functools import reduce
+from typing import Iterable
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division; ``b`` must be positive."""
+    if b <= 0:
+        raise ValueError("divisor must be positive")
+    return -(-a // b)
+
+
+def clamp(value: float, lo: float, hi: float) -> float:
+    """Clamp ``value`` into the inclusive range [lo, hi]."""
+    if lo > hi:
+        raise ValueError("empty clamp range")
+    return max(lo, min(hi, value))
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of integers (1 for the empty iterable)."""
+    return reduce(lambda a, b: a * b, values, 1)

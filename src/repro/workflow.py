@@ -1,0 +1,127 @@
+"""Out-of-the-box workflow: model + architecture -> compile -> simulate ->
+report (Fig. 2), with functional validation against the golden model.
+
+This is the paper's "out-of-the-box workflow for implementing and
+evaluating DNN workloads on digital CIM architectures"::
+
+    from repro import run_workflow
+    result = run_workflow("resnet18", input_size=32)
+    print(result.report)
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.config import ArchConfig, default_arch
+from repro.errors import ValidationError
+from repro.compiler import CompiledModel, compile_graph
+from repro.graph.graph import ComputationGraph
+from repro.sim.chip import ChipSimulator
+from repro.sim.functional import golden_outputs, random_input
+from repro.sim.report import SimulationReport
+
+
+@dataclass
+class WorkflowResult:
+    """Everything one compile+simulate run produces."""
+
+    compiled: CompiledModel
+    report: SimulationReport
+    outputs: Dict[str, np.ndarray]
+    golden: Optional[Dict[str, np.ndarray]] = None
+    validated: bool = False
+
+    @property
+    def graph(self) -> ComputationGraph:
+        return self.compiled.graph
+
+
+def _resolve_graph(
+    model: Union[str, ComputationGraph], **model_kwargs
+) -> ComputationGraph:
+    if isinstance(model, ComputationGraph):
+        return model
+    from repro.graph.models import get_model
+
+    return get_model(model, **model_kwargs)
+
+
+def compile_model(
+    model: Union[str, ComputationGraph],
+    arch: Optional[ArchConfig] = None,
+    strategy: str = "dp",
+    **model_kwargs,
+) -> CompiledModel:
+    """Compile a model (zoo name or graph) for an architecture."""
+    graph = _resolve_graph(model, **model_kwargs)
+    return compile_graph(graph, arch or default_arch(), strategy=strategy)
+
+
+def simulate(
+    compiled: CompiledModel,
+    input_data: Optional[np.ndarray] = None,
+    validate: bool = True,
+    seed: int = 0,
+) -> WorkflowResult:
+    """Simulate a compiled model on the cycle-level simulator.
+
+    With ``validate=True`` (the execution-result check of Fig. 2) the
+    simulated graph outputs are compared bit-exactly against the golden
+    NumPy model; a mismatch raises :class:`ValidationError`.
+    """
+    graph = compiled.graph
+    if input_data is None:
+        input_data = random_input(graph, seed=seed)
+    input_tensor = graph.input_operators[0].output
+    sim = ChipSimulator.from_compiled(compiled)
+    sim.memory.write_global(
+        compiled.input_address(input_tensor), np.asarray(input_data, np.int8)
+    )
+    report = sim.run()
+
+    outputs: Dict[str, np.ndarray] = {}
+    for name in graph.outputs:
+        resolved = compiled.plan.cgraph.resolve(name)
+        info = graph.tensor(name)
+        raw = sim.memory.read_global(
+            compiled.plan.tensor_address[resolved], info.size_bytes
+        )
+        outputs[name] = raw.reshape(info.shape)
+
+    golden = None
+    validated = False
+    if validate:
+        golden = golden_outputs(graph, {input_tensor: input_data})
+        for name, expected in golden.items():
+            got = outputs[name].reshape(expected.shape)
+            if not np.array_equal(got, expected):
+                bad = int(np.count_nonzero(got != expected))
+                raise ValidationError(
+                    f"{graph.name} [{compiled.plan.strategy}]: output "
+                    f"{name!r} differs from golden model in {bad}/"
+                    f"{expected.size} elements"
+                )
+        validated = True
+    return WorkflowResult(
+        compiled=compiled,
+        report=report,
+        outputs=outputs,
+        golden=golden,
+        validated=validated,
+    )
+
+
+def run_workflow(
+    model: Union[str, ComputationGraph],
+    arch: Optional[ArchConfig] = None,
+    strategy: str = "dp",
+    input_data: Optional[np.ndarray] = None,
+    validate: bool = True,
+    seed: int = 0,
+    **model_kwargs,
+) -> WorkflowResult:
+    """The one-call pipeline: build/compile/simulate/validate/report."""
+    compiled = compile_model(model, arch, strategy, **model_kwargs)
+    return simulate(compiled, input_data, validate=validate, seed=seed)

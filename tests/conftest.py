@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.config import default_arch, small_test_arch
+
+
+@pytest.fixture
+def arch():
+    """The tiny test architecture (fast to simulate)."""
+    return small_test_arch()
+
+
+@pytest.fixture
+def table1_arch():
+    """The paper's default architecture (Table I)."""
+    return default_arch()

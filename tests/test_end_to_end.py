@@ -1,0 +1,108 @@
+"""End-to-end integration: compile + simulate + bit-exact validation."""
+
+import numpy as np
+import pytest
+
+from repro import compile_model, run_workflow, simulate
+from repro.config import default_arch, small_test_arch, with_mg_size
+from repro.sim.functional import golden_outputs, random_input
+
+TINY_MODELS = ("tiny_mlp", "tiny_cnn", "tiny_resnet")
+STRATEGIES = ("generic", "duplication", "dp")
+
+
+class TestTinyModels:
+    @pytest.mark.parametrize("model", TINY_MODELS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_bit_exact_on_test_arch(self, model, strategy, arch):
+        result = run_workflow(model, arch=arch, strategy=strategy)
+        assert result.validated
+        assert result.report.cycles > 0
+        assert result.report.total_energy_pj > 0
+
+    def test_strategies_agree_functionally(self, arch):
+        outs = []
+        for strategy in STRATEGIES:
+            result = run_workflow("tiny_resnet", arch=arch, strategy=strategy)
+            outs.append(result.outputs[result.graph.outputs[0]])
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+
+    def test_dp_not_slower_than_generic(self, arch):
+        generic = run_workflow("tiny_resnet", arch=arch, strategy="generic")
+        dp = run_workflow("tiny_resnet", arch=arch, strategy="dp")
+        assert dp.report.cycles <= generic.report.cycles
+
+    def test_deterministic_simulation(self, arch):
+        a = run_workflow("tiny_cnn", arch=arch, strategy="dp", seed=5)
+        b = run_workflow("tiny_cnn", arch=arch, strategy="dp", seed=5)
+        assert a.report.cycles == b.report.cycles
+        assert a.report.total_energy_pj == b.report.total_energy_pj
+
+    def test_different_inputs_change_outputs(self, arch):
+        compiled = compile_model("tiny_mlp", arch, "generic")
+        r1 = simulate(compiled, random_input(compiled.graph, seed=1))
+        r2 = simulate(compiled, random_input(compiled.graph, seed=2))
+        name = compiled.graph.outputs[0]
+        assert not np.array_equal(r1.outputs[name], r2.outputs[name])
+
+
+class TestPaperModelsSmallScale:
+    """The four-paper-model suite at reduced resolution on Table I."""
+
+    @pytest.mark.parametrize(
+        "model,input_size",
+        [
+            ("resnet18", 16),
+            ("vgg19", 32),  # five 2x2 pools need at least 32 px
+            ("mobilenetv2", 16),
+            ("efficientnetb0", 16),
+        ],
+    )
+    def test_bit_exact_small_inputs(self, model, input_size, table1_arch):
+        result = run_workflow(
+            model, arch=table1_arch, strategy="generic",
+            input_size=input_size, num_classes=10,
+        )
+        assert result.validated
+
+    def test_resnet18_dp_at_32px(self, table1_arch):
+        result = run_workflow(
+            "resnet18", arch=table1_arch, strategy="dp",
+            input_size=32, num_classes=10,
+        )
+        assert result.validated
+
+    def test_mg_size_variant_still_exact(self, table1_arch):
+        arch = with_mg_size(table1_arch, 4)
+        result = run_workflow(
+            "resnet18", arch=arch, strategy="generic",
+            input_size=16, num_classes=10,
+        )
+        assert result.validated
+
+
+class TestGoldenModel:
+    def test_conv_of_zero_input_is_requantized_bias(self):
+        from repro.graph import GraphBuilder
+
+        b = GraphBuilder("bias_only", seed=4)
+        x = b.input((4, 4, 4))
+        b.output(b.conv(x, 8, 3, 1, 1))
+        graph = b.build()
+        conv = graph.operators[1]
+        zero = np.zeros((4, 4, 4), dtype=np.int8)
+        out = golden_outputs(graph, {graph.input_operators[0].output: zero})
+        from repro.graph.quantize import requantize
+
+        expected = requantize(conv.bias.astype(np.int32), conv.qparams)
+        value = next(iter(out.values()))
+        assert np.array_equal(value[0, 0], expected)
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ValidationError
+        from repro.graph.models import get_model
+
+        graph = get_model("tiny_mlp")
+        with pytest.raises(ValidationError):
+            golden_outputs(graph, {"input_out": np.zeros(3, np.int8)})

@@ -1,0 +1,243 @@
+"""Tests for the ISA: formats, encoding, assembly, programs, extensions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ISAError
+from repro.isa import (
+    FIELD_LAYOUT,
+    Category,
+    Format,
+    Instruction,
+    InstructionDescriptor,
+    ISARegistry,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    decode,
+    default_registry,
+    encode,
+    format_instruction,
+    format_program,
+    parse_line,
+    parse_program,
+)
+from repro.isa.formats import SIGNED_FIELDS
+
+
+class TestFormats:
+    def test_all_formats_are_32_bit(self):
+        for fmt, layout in FIELD_LAYOUT.items():
+            total = sum(width for _, width in layout.values())
+            assert total == 32, f"{fmt} fields sum to {total} bits"
+
+    def test_fields_do_not_overlap(self):
+        for fmt, layout in FIELD_LAYOUT.items():
+            seen = set()
+            for lo, width in layout.values():
+                bits = set(range(lo, lo + width))
+                assert not bits & seen, f"{fmt} has overlapping fields"
+                seen |= bits
+
+    def test_opcode_always_at_top(self):
+        for layout in FIELD_LAYOUT.values():
+            assert layout["opcode"] == (26, 6)
+
+
+def _field_strategy(name, width):
+    if name in SIGNED_FIELDS:
+        return st.integers(-(1 << (width - 1)), (1 << (width - 1)) - 1)
+    return st.integers(0, (1 << width) - 1)
+
+
+@st.composite
+def _random_instruction(draw, declared_only=False):
+    registry = default_registry()
+    mnemonic = draw(st.sampled_from(registry.mnemonics()))
+    desc = registry.lookup(mnemonic)
+    layout = FIELD_LAYOUT[desc.fmt]
+    fields = {}
+    for name, (_, width) in layout.items():
+        if name == "opcode":
+            continue
+        if declared_only and name not in desc.operands:
+            continue
+        value = draw(_field_strategy(name, width))
+        if value:
+            fields[name] = value
+    return Instruction(mnemonic, fields)
+
+
+class TestEncoding:
+    @given(_random_instruction())
+    def test_encode_decode_round_trip(self, instr):
+        word = encode(instr)
+        assert 0 <= word < (1 << 32)
+        decoded = decode(word)
+        assert decoded.mnemonic == instr.mnemonic
+        expected = {k: v for k, v in instr.fields.items() if v != 0}
+        assert decoded.fields == expected
+
+    def test_field_overflow_rejected(self):
+        with pytest.raises(ISAError):
+            encode(Instruction("SC_ADDI", {"rs": 1, "rt": 2, "imm": 600}))
+
+    def test_unresolved_target_rejected(self):
+        with pytest.raises(ISAError):
+            encode(Instruction("JMP", {}, target="loop"))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ISAError):
+            encode(Instruction("JMP", {"funct": 1}))
+
+    def test_decode_unknown_opcode(self):
+        with pytest.raises(ISAError):
+            decode(0x3B << 26)  # unassigned opcode
+
+
+class TestAssembly:
+    def test_line_round_trip(self):
+        instr = parse_line("CIM_MVM R7, R10, R9, 1")
+        assert instr.mnemonic == "CIM_MVM"
+        assert (instr.rs, instr.rt, instr.re, instr.flags) == (7, 10, 9, 1)
+        assert format_instruction(instr) == "CIM_MVM R7, R10, R9, 1"
+
+    def test_comments_and_blanks(self):
+        assert parse_line("// just a comment") is None
+        assert parse_line("   ") is None
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ISAError):
+            parse_line("SC_ADD R1, R2")
+
+    def test_register_expected(self):
+        with pytest.raises(ISAError):
+            parse_line("SC_ADD 1, R2, R3")
+
+    def test_program_round_trip(self):
+        text = """
+        start:
+          SC_ADDI R1, R1, 1
+          BLT R1, R2, start
+          HALT
+        """
+        program = parse_program(text)
+        program.finalize()
+        assert program.instructions[1].offset == -1
+        rendered = format_program(program)
+        assert "start:" in rendered and "HALT" in rendered
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(ISAError, match="line 2"):
+            parse_program("NOP\nBOGUS R1\n")
+
+    @given(_random_instruction(declared_only=True))
+    def test_asm_round_trip_property(self, instr):
+        line = format_instruction(instr)
+        parsed = parse_line(line)
+        assert parsed.mnemonic == instr.mnemonic
+        assert {k: v for k, v in parsed.fields.items() if v} == {
+            k: v for k, v in instr.fields.items() if v
+        }
+
+
+class TestProgram:
+    def test_labels_resolve_forward_and_back(self):
+        program = Program()
+        program.label("top")
+        program.emit("NOP")
+        program.emit("JMP", target="end")
+        program.emit("JMP", target="top")
+        program.label("end")
+        program.finalize()
+        assert program.instructions[1].offset == 2
+        assert program.instructions[2].offset == -2
+
+    def test_duplicate_label_rejected(self):
+        program = Program()
+        program.label("a")
+        with pytest.raises(ISAError):
+            program.label("a")
+
+    def test_undefined_label_rejected(self):
+        program = Program()
+        program.emit("JMP", target="nowhere")
+        with pytest.raises(ISAError):
+            program.finalize()
+
+    def test_encode_all(self):
+        program = Program()
+        program.emit("NOP")
+        program.emit("HALT")
+        words = program.encode_all()
+        assert len(words) == 2
+        assert program.size_bytes() == 8
+
+
+class TestProgramBuilder:
+    def test_li_small(self):
+        builder = ProgramBuilder()
+        builder.li(1, 42)
+        assert [i.mnemonic for i in builder.program] == ["SC_ADDI"]
+
+    def test_li_large_expands(self):
+        builder = ProgramBuilder()
+        builder.li(1, 418816)
+        names = [i.mnemonic for i in builder.program]
+        assert names == ["SC_LUI", "SC_ORI"]
+
+    def test_li_rejects_r0(self):
+        with pytest.raises(ISAError):
+            ProgramBuilder().li(0, 1)
+
+    def test_loop_emits_backedge(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0)
+        builder.li(2, 4)
+        with builder.loop(1, 2):
+            builder.emit("NOP")
+        program = builder.finalize()
+        assert program.instructions[-1].mnemonic == "BLT"
+        assert program.instructions[-1].offset < 0
+
+
+class TestExtensions:
+    def test_register_custom_instruction(self):
+        registry = ISARegistry()
+        desc = InstructionDescriptor(
+            mnemonic="VEC_GELU",
+            opcode=int(Opcode.EXT0),
+            category=Category.VECTOR,
+            fmt=Format.VEC,
+            operands=("rs", "rd", "re"),
+            description="custom gelu activation",
+            latency=6,
+            energy_pj=12.0,
+        )
+        registry.register(desc)
+        assert "VEC_GELU" in registry
+        instr = parse_line("VEC_GELU R1, R2, R3", registry)
+        word = encode(instr, registry)
+        assert decode(word, registry).mnemonic == "VEC_GELU"
+
+    def test_extension_requires_latency(self):
+        registry = ISARegistry()
+        desc = InstructionDescriptor(
+            "X_NOP", int(Opcode.EXT1), Category.SCALAR, Format.CTL
+        )
+        with pytest.raises(ISAError):
+            registry.register(desc)
+
+    def test_duplicate_opcode_rejected(self):
+        registry = ISARegistry()
+        desc = InstructionDescriptor(
+            "MY_MVM", int(Opcode.CIM_MVM), Category.CIM, Format.CIM, latency=1
+        )
+        with pytest.raises(ISAError):
+            registry.register(desc)
+
+    def test_free_extension_opcodes(self):
+        registry = ISARegistry()
+        free = registry.free_extension_opcodes()
+        assert len(free) == 4

@@ -1,0 +1,73 @@
+"""Unit and property tests for the bit/math utilities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils import ceil_div, clamp, prod
+from repro.utils.bits import (
+    extract_bits,
+    insert_bits,
+    popcount,
+    sign_extend,
+    to_twos_complement,
+)
+
+
+class TestMath:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 5) == 0
+
+    def test_ceil_div_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        assert clamp(2, 0, 3) == 2
+
+    def test_clamp_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)
+
+    def test_prod(self):
+        assert prod([]) == 1
+        assert prod([2, 3, 4]) == 24
+
+    @given(st.integers(1, 10**6), st.integers(1, 10**4))
+    def test_ceil_div_property(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a > (q - 1) * b
+
+
+class TestBits:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    def test_extract_insert_round_trip(self):
+        word = insert_bits(0, 5, 6, 0b101010)
+        assert extract_bits(word, 5, 6) == 0b101010
+
+    def test_insert_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            insert_bits(0, 0, 3, 8)
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 26), st.integers(1, 6))
+    def test_insert_extract_property(self, word, lo, width):
+        value = word & ((1 << width) - 1)
+        assert extract_bits(insert_bits(0, lo, width, value), lo, width) == value
+
+    @given(st.integers(1, 31), st.data())
+    def test_sign_round_trip(self, width, data):
+        lo = -(1 << (width - 1))
+        hi = (1 << (width - 1)) - 1
+        value = data.draw(st.integers(lo, hi))
+        assert sign_extend(to_twos_complement(value, width), width) == value
