@@ -1,16 +1,44 @@
 """Shared, session-cached computations for the benchmark harness.
 
 The figure benchmarks share expensive sweeps (Fig. 5's strategy grid,
-Fig. 6/7's architecture sweeps); session fixtures compute each once.
+Fig. 6/7's architecture sweeps); session fixtures compute each once,
+going through the design-space exploration engine (:mod:`repro.explore`).
+
+Two environment variables tune how the sweeps execute without changing
+their results:
+
+- ``REPRO_BENCH_WORKERS``: process-pool size for the sweeps (default 1,
+  i.e. serial in-process);
+- ``REPRO_BENCH_CACHE``: directory of an on-disk result cache.  When set,
+  re-running the benchmarks serves already-evaluated points from disk
+  (re-anchored benchmark runs finish in seconds instead of minutes).
 """
+
+import os
 
 import pytest
 
-from repro.explore import design_space, mg_flit_sweep, strategy_comparison
+from repro.explore import (
+    FLIT_SIZES,
+    MG_SIZES,
+    SweepSpec,
+    run_sweep,
+    strategy_comparison,
+)
+from repro.explore_cache import ResultCache
 
 #: Paper-scale resolution used by the figure sweeps (fast analytic model).
 INPUT_SIZE = 224
 NUM_CLASSES = 1000
+
+
+def _bench_workers():
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+
+
+def _bench_cache():
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE")
+    return ResultCache(cache_dir) if cache_dir else None
 
 
 @pytest.fixture(scope="session")
@@ -20,37 +48,41 @@ def fig5_results():
         ["resnet18", "vgg19", "mobilenetv2", "efficientnetb0"],
         input_size=INPUT_SIZE,
         num_classes=NUM_CLASSES,
+        workers=_bench_workers(),
+        cache=_bench_cache(),
     )
 
 
 @pytest.fixture(scope="session")
 def fig6_results():
     """Fig. 6 sweep: MG size x flit width, generic mapping."""
-    return {
-        model: mg_flit_sweep(
-            model, "generic", input_size=INPUT_SIZE, num_classes=NUM_CLASSES
-        )
-        for model in ("resnet18", "efficientnetb0")
-    }
+    spec = SweepSpec(
+        models=("resnet18", "efficientnetb0"),
+        strategies=("generic",),
+        mg_sizes=MG_SIZES,
+        flit_sizes=FLIT_SIZES,
+        input_sizes=(INPUT_SIZE,),
+        num_classes=NUM_CLASSES,
+    )
+    result = run_sweep(spec, workers=_bench_workers(), cache=_bench_cache())
+    return result.by_model()
 
 
 @pytest.fixture(scope="session")
 def fig7_results(fig6_results):
     """Fig. 7 scatter: generic vs DP-optimized across the HW grid."""
-    out = {}
-    for model, limit in (("resnet18", None), ("efficientnetb0", 64)):
-        dp_points = []
-        from repro.config import default_arch, with_flit_bytes, with_mg_size
-        from repro.explore import FLIT_SIZES, MG_SIZES, evaluate_fast
-
-        for flit in FLIT_SIZES:
-            for mg in MG_SIZES:
-                arch = with_flit_bytes(with_mg_size(default_arch(), mg), flit)
-                dp_points.append(
-                    evaluate_fast(
-                        model, arch, "dp", INPUT_SIZE, NUM_CLASSES,
-                        closure_limit=limit,
-                    )
-                )
-        out[model] = {"generic": fig6_results[model], "dp": dp_points}
-    return out
+    spec = SweepSpec(
+        models=("resnet18", "efficientnetb0"),
+        strategies=("dp",),
+        mg_sizes=MG_SIZES,
+        flit_sizes=FLIT_SIZES,
+        input_sizes=(INPUT_SIZE,),
+        num_classes=NUM_CLASSES,
+        closure_limit={"resnet18": None, "efficientnetb0": 64},
+    )
+    result = run_sweep(spec, workers=_bench_workers(), cache=_bench_cache())
+    dp_by_model = result.by_model()
+    return {
+        model: {"generic": fig6_results[model], "dp": dp_by_model[model]}
+        for model in spec.models
+    }

@@ -1,23 +1,49 @@
 """Architectural design-space exploration (the Fig. 6 / Fig. 7 workflow).
 
-Sweeps macro-group size (4..16 macros) and NoC flit width (8/16 bytes)
-for ResNet18 and EfficientNetB0 at paper-scale 224x224 resolution using
-the fast row-granular pipeline model, then prints the energy breakdown
-and throughput of every point -- the raw material of the paper's Fig. 6
-bar charts and Fig. 7 scatter.
+Declares the paper's hardware cross product -- macro-group size (4..16
+macros) x NoC flit width (8/16 bytes) for ResNet18 and EfficientNetB0 at
+224x224 -- as a :class:`repro.explore.SweepSpec`, then executes it through
+the exploration engine.  Pass ``--workers N`` to fan the points out over a
+process pool and ``--cache DIR`` to reuse results across runs (a second
+invocation is served almost entirely from disk).
 
-Run:  python examples/design_space_exploration.py
+The same sweep is available without Python as::
+
+    python -m repro sweep --models resnet18,efficientnetb0 \\
+        --strategies generic --mg-sizes 4,8,12,16 --flit-sizes 8,16
+
+Run:  python examples/design_space_exploration.py [--workers N] [--cache DIR]
 """
 
-from repro.explore import mg_flit_sweep
+import argparse
+
+from repro.explore import FLIT_SIZES, MG_SIZES, SweepSpec, run_sweep
+from repro.explore_cache import ResultCache
 
 
 def main() -> None:
-    for model in ("resnet18", "efficientnetb0"):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial)")
+    parser.add_argument("--cache", metavar="DIR", default=None,
+                        help="on-disk result cache directory")
+    args = parser.parse_args()
+
+    spec = SweepSpec(
+        models=("resnet18", "efficientnetb0"),
+        strategies=("generic",),
+        mg_sizes=MG_SIZES,
+        flit_sizes=FLIT_SIZES,
+        input_sizes=(224,),
+    )
+    cache = ResultCache(args.cache) if args.cache else None
+    result = run_sweep(spec, workers=args.workers, cache=cache)
+
+    for model, points in result.by_model().items():
         print(f"\n{model} @ 224x224, generic mapping")
         print(f"{'MG':>4s}{'flit':>6s}{'TOPS':>8s}{'E mJ':>8s}"
               f"{'local%':>8s}{'compute%':>10s}{'noc%':>7s}")
-        for pt in mg_flit_sweep(model, "generic", input_size=224):
+        for pt in points:
             g = pt.report.grouped_energy_mj()
             tracked = g["local_mem"] + g["compute"] + g["noc"]
             print(
@@ -27,6 +53,13 @@ def main() -> None:
                 f"{100 * g['compute'] / tracked:>10.1f}"
                 f"{100 * g['noc'] / tracked:>7.1f}"
             )
+
+    stats = result.stats
+    print(
+        f"\n{stats.total_points} points in {stats.wall_time_s:.1f}s "
+        f"({stats.workers} workers, {stats.cache_hits} cache hits, "
+        f"{stats.evaluated} evaluated)"
+    )
 
 
 if __name__ == "__main__":

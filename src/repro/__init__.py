@@ -19,7 +19,15 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   and energy models, the functional golden model, and the fast analytical
   model.
 - :mod:`repro.workflow` -- the out-of-the-box `compile -> simulate -> report`
-  pipeline and design-space sweep drivers.
+  pipeline.
+- :mod:`repro.explore` -- the design-space exploration engine: declarative
+  :class:`~repro.explore.SweepSpec` cross products, parallel execution and
+  the on-disk result cache (:mod:`repro.explore_cache`).
+- :mod:`repro.cli`     -- the ``python -m repro`` command line
+  (`run` / `sweep` / `compare` / `report`).
+
+See ``README.md`` for a quickstart and ``docs/ARCHITECTURE.md`` for the
+compilation/simulation stack in detail.
 """
 
 from repro.errors import (
@@ -32,7 +40,17 @@ from repro.errors import (
     ValidationError,
 )
 from repro.config import ArchConfig, EnergyConfig, default_arch
-from repro.explore import DesignPoint, design_space, evaluate_fast, mg_flit_sweep
+from repro.explore import (
+    DesignPoint,
+    SweepResult,
+    SweepSpec,
+    design_space,
+    evaluate_fast,
+    mg_flit_sweep,
+    run_sweep,
+    strategy_comparison,
+)
+from repro.explore_cache import ResultCache
 from repro.sim.fastmodel import FastReport, analyze_plan
 from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
 
@@ -49,6 +67,11 @@ __all__ = [
     "evaluate_fast",
     "design_space",
     "mg_flit_sweep",
+    "strategy_comparison",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "ResultCache",
     "DesignPoint",
     "analyze_plan",
     "FastReport",

@@ -1,0 +1,417 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands expose the out-of-the-box workflow and the design-space
+exploration engine without writing any Python:
+
+- ``run``     -- compile one model and execute it on the cycle-accurate
+  simulator, validating against the golden model (Fig. 2 workflow);
+- ``sweep``   -- evaluate a cross-product design space with the fast
+  analytical model, in parallel and through the on-disk result cache;
+- ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
+  per compilation strategy);
+- ``report``  -- re-render / convert a saved ``sweep --json`` file.
+
+Examples::
+
+    python -m repro run tiny_resnet --preset small
+    python -m repro sweep --models resnet18 --strategies generic,dp \\
+        --mg-sizes 4,8,12,16 --flit-sizes 8,16 --workers 4 --json out.json
+    python -m repro compare --models resnet18,mobilenetv2
+    python -m repro report out.json --best tops --csv out.csv
+"""
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.config import default_arch, load_arch, small_test_arch
+from repro.errors import ReproError
+from repro.explore import SweepSpec, run_sweep, strategy_comparison
+from repro.explore_cache import ResultCache, default_cache_dir
+from repro.graph.models import available_models
+
+_PRESETS = {"default": default_arch, "small": small_test_arch}
+
+_POINT_COLUMNS = (
+    "model", "strategy", "input_size", "mg_size", "flit_bytes",
+    "cycles", "time_ms", "energy_mj", "tops", "cached",
+)
+
+
+# ---------------------------------------------------------------------------
+# Small argument helpers
+# ---------------------------------------------------------------------------
+
+def _split_csv(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _int_list(value: str) -> List[int]:
+    try:
+        return [int(item) for item in _split_csv(value)]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {value!r}"
+        )
+
+
+def _closure_limit(value: str):
+    """``64`` | ``none`` | ``model=64,other=none`` -> engine form."""
+    items = _split_csv(value)
+    if len(items) == 1 and "=" not in items[0]:
+        return None if items[0].lower() == "none" else int(items[0])
+    limits: Dict[str, Optional[int]] = {}
+    for item in items:
+        if "=" not in item:
+            raise argparse.ArgumentTypeError(
+                f"expected model=limit pairs, got {item!r}"
+            )
+        model, _, limit = item.partition("=")
+        limits[model.strip()] = (
+            None if limit.strip().lower() == "none" else int(limit)
+        )
+    return limits
+
+
+def _resolve_arch(args):
+    if getattr(args, "arch", None):
+        return load_arch(args.arch)
+    return _PRESETS[args.preset]()
+
+
+def _add_arch_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--arch", metavar="FILE",
+        help="JSON architecture configuration file (see repro.config.save_arch)",
+    )
+    group.add_argument(
+        "--preset", choices=sorted(_PRESETS), default="default",
+        help="built-in architecture preset (default: the paper's Table I)",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Output helpers
+# ---------------------------------------------------------------------------
+
+def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    header = (
+        f"{'model':<16s}{'strat':>7s}{'in':>5s}{'MG':>4s}{'flit':>6s}"
+        f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}{'cache':>7s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
+            f"{row['mg_size']:>4d}{row['flit_bytes']:>6d}"
+            f"{row['cycles']:>12,d}{row['time_ms']:>9.2f}"
+            f"{row['energy_mj']:>9.2f}{row['tops']:>8.2f}"
+            f"{'hit' if row.get('cached') else '-':>7s}"
+        )
+    return "\n".join(lines)
+
+
+def _write_csv(rows: Sequence[Dict[str, Any]], path: str) -> None:
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=_POINT_COLUMNS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({col: row[col] for col in _POINT_COLUMNS})
+
+
+def _write_json(payload: Dict[str, Any], path: str) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_run(args) -> int:
+    from repro.workflow import run_workflow
+
+    result = run_workflow(
+        args.model,
+        arch=_resolve_arch(args),
+        strategy=args.strategy,
+        validate=not args.no_validate,
+        seed=args.seed,
+        input_size=args.input_size,
+        num_classes=args.num_classes,
+    )
+    print(result.compiled.summary())
+    if not args.no_validate:
+        print("validated : bit-exact vs golden model")
+    print()
+    print(result.report)
+    if args.json:
+        _write_json(
+            {
+                "model": args.model,
+                "strategy": args.strategy,
+                "input_size": args.input_size,
+                "num_classes": args.num_classes,
+                "validated": result.validated,
+                "report": result.report.to_dict(),
+            },
+            args.json,
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _build_cache(args) -> Optional[ResultCache]:
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir or default_cache_dir())
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done, total, point):
+        tag = "cache hit" if point.cached else "evaluated"
+        print(
+            f"[{done:>3d}/{total}] {point.model:<16s}{point.strategy:>12s}"
+            f"  MG={point.mg_size:<3d}flit={point.flit_bytes:<3d}"
+            f" TOPS={point.tops:6.2f}  ({tag})",
+            flush=True,
+        )
+
+    return progress
+
+
+def _cmd_sweep(args) -> int:
+    spec = SweepSpec(
+        models=tuple(args.models),
+        strategies=tuple(args.strategies),
+        mg_sizes=tuple(args.mg_sizes) if args.mg_sizes else None,
+        flit_sizes=tuple(args.flit_sizes) if args.flit_sizes else None,
+        input_sizes=tuple(args.input_sizes),
+        num_classes=args.num_classes,
+        base_arch=_resolve_arch(args),
+        closure_limit=args.closure_limit,
+    )
+    cache = _build_cache(args)
+    result = run_sweep(
+        spec,
+        workers=args.workers,
+        cache=cache,
+        progress=_progress_printer(args.quiet),
+    )
+    rows = [pt.to_dict() for pt in result.points]
+    print()
+    print(_format_table(rows))
+    stats = result.stats
+    print(
+        f"\n{stats.total_points} points in {stats.wall_time_s:.1f}s "
+        f"({stats.workers} worker{'s' if stats.workers != 1 else ''}): "
+        f"{stats.evaluated} evaluated, {stats.cache_hits} cache hits "
+        f"({100 * stats.hit_rate:.0f}%)"
+    )
+    if cache is not None:
+        print(f"cache: {cache.root} ({len(cache)} entries)")
+    if args.json:
+        _write_json(result.to_dict(), args.json)
+        print(f"wrote {args.json}")
+    if args.csv:
+        _write_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    cache = _build_cache(args)
+    results = strategy_comparison(
+        args.models,
+        arch=_resolve_arch(args),
+        strategies=tuple(args.strategies),
+        input_size=args.input_size,
+        num_classes=args.num_classes,
+        workers=args.workers,
+        cache=cache,
+    )
+    baseline = args.strategies[0]
+    print(
+        f"normalized speed / energy ({baseline} = 1.00), "
+        f"input {args.input_size}x{args.input_size}"
+    )
+    print(f"{'model':<16s}" + "".join(f"{s:>22s}" for s in args.strategies))
+    for model, by_strategy in results.items():
+        base = by_strategy[baseline].report
+        cells = []
+        for strategy in args.strategies:
+            report = by_strategy[strategy].report
+            speed = base.cycles / report.cycles
+            energy = report.total_energy_mj / base.total_energy_mj
+            cells.append(f"{speed:7.2f}x /{energy:6.2f}E")
+        print(f"{model:<16s}" + "".join(f"{c:>22s}" for c in cells))
+    if args.json:
+        _write_json(
+            {
+                model: {
+                    strategy: point.to_dict()
+                    for strategy, point in by_strategy.items()
+                }
+                for model, by_strategy in results.items()
+            },
+            args.json,
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    try:
+        payload = json.loads(Path(args.results).read_text())
+        rows = payload["points"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read sweep results {args.results!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(_format_table(rows))
+    spec = payload.get("spec", {})
+    stats = payload.get("stats", {})
+    if spec:
+        print(
+            f"\nsweep of {spec.get('num_points', len(rows))} points over "
+            f"models={spec.get('models')} strategies={spec.get('strategies')}"
+        )
+    if stats:
+        print(
+            f"executed with {stats.get('workers')} worker(s) in "
+            f"{stats.get('wall_time_s', 0.0):.1f}s, "
+            f"{stats.get('cache_hits', 0)} cache hits"
+        )
+    reverse = args.best == "tops"
+    ranked = sorted(rows, key=lambda r: r[args.best], reverse=reverse)
+    print(f"\ntop {min(args.top, len(ranked))} by {args.best}:")
+    print(_format_table(ranked[: args.top]))
+    if args.csv:
+        _write_csv(rows, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "CIMFlow reproduction: compile, simulate and explore DNN "
+            "workloads on digital CIM architectures."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    # run -------------------------------------------------------------------
+    run = sub.add_parser(
+        "run",
+        help="compile + cycle-accurately simulate one model (Fig. 2 workflow)",
+    )
+    run.add_argument("model", help=f"model zoo name ({', '.join(available_models())})")
+    _add_arch_options(run)
+    run.add_argument("--strategy", default="dp",
+                     choices=("generic", "duplication", "dp"))
+    run.add_argument("--input-size", type=int, default=32,
+                     help="input resolution (cycle sim; keep small)")
+    run.add_argument("--num-classes", type=int, default=10)
+    run.add_argument("--seed", type=int, default=0,
+                     help="seed for the random input tensor")
+    run.add_argument("--no-validate", action="store_true",
+                     help="skip the golden-model output check")
+    run.add_argument("--json", metavar="FILE", help="write the report as JSON")
+    run.set_defaults(func=_cmd_run)
+
+    # sweep -----------------------------------------------------------------
+    sweep = sub.add_parser(
+        "sweep",
+        help="fast-model design-space sweep (parallel, cached)",
+    )
+    sweep.add_argument("--models", type=_split_csv, required=True,
+                       metavar="M[,M...]")
+    sweep.add_argument("--strategies", type=_split_csv, default=["dp"],
+                       metavar="S[,S...]")
+    sweep.add_argument("--mg-sizes", type=_int_list, default=None,
+                       metavar="N[,N...]",
+                       help="macro-group sizes to sweep (default: base arch)")
+    sweep.add_argument("--flit-sizes", type=_int_list, default=None,
+                       metavar="N[,N...]",
+                       help="NoC flit widths to sweep (default: base arch)")
+    sweep.add_argument("--input-sizes", type=_int_list, default=[224],
+                       metavar="N[,N...]")
+    sweep.add_argument("--num-classes", type=int, default=1000)
+    sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
+                       metavar="N|model=N,...",
+                       help="DP closure enumeration cap (int, 'none', or "
+                            "per-model model=N pairs)")
+    _add_arch_options(sweep)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (1 = serial)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help=f"result cache location (default: {default_cache_dir()})")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="evaluate every point, bypassing the cache")
+    sweep.add_argument("--json", metavar="FILE",
+                       help="write full results (readable by 'report')")
+    sweep.add_argument("--csv", metavar="FILE", help="write results as CSV")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-point progress lines")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    # compare ---------------------------------------------------------------
+    compare = sub.add_parser(
+        "compare",
+        help="normalized strategy comparison (Fig. 5)",
+    )
+    compare.add_argument("--models", type=_split_csv, required=True,
+                         metavar="M[,M...]")
+    compare.add_argument("--strategies", type=_split_csv,
+                         default=["generic", "duplication", "dp"],
+                         metavar="S[,S...]",
+                         help="first strategy is the normalization baseline")
+    compare.add_argument("--input-size", type=int, default=224)
+    compare.add_argument("--num-classes", type=int, default=1000)
+    _add_arch_options(compare)
+    compare.add_argument("--workers", type=int, default=1)
+    compare.add_argument("--cache-dir", metavar="DIR")
+    compare.add_argument("--no-cache", action="store_true")
+    compare.add_argument("--json", metavar="FILE")
+    compare.set_defaults(func=_cmd_compare)
+
+    # report ----------------------------------------------------------------
+    report = sub.add_parser(
+        "report",
+        help="re-render or convert a saved 'sweep --json' results file",
+    )
+    report.add_argument("results", help="JSON file written by 'sweep --json'")
+    report.add_argument("--best", default="tops",
+                        choices=("tops", "energy_mj", "cycles"),
+                        help="metric for the ranked summary")
+    report.add_argument("--top", type=int, default=5,
+                        help="how many top points to list")
+    report.add_argument("--csv", metavar="FILE", help="convert points to CSV")
+    report.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,10 @@
 condensation, CG-level partitioning/mapping under the selected strategy,
 core and row assignment, global-memory layout, and OP-level code
 generation, returning a :class:`CompiledModel` ready for simulation.
+``plan_graph`` stops after the CG level, returning the
+:class:`ExecutionPlan` that wide design-space sweeps evaluate with the
+fast model.  See ``docs/ARCHITECTURE.md`` ("Two-level compilation") for
+the flow in detail.
 """
 
 from dataclasses import dataclass, field

@@ -15,7 +15,14 @@ from repro.config.arch import (
     VectorUnitConfig,
 )
 from repro.config.energy import EnergyConfig
-from repro.config.loader import arch_from_dict, arch_to_dict, load_arch, save_arch
+from repro.config.loader import (
+    arch_canonical_json,
+    arch_fingerprint,
+    arch_from_dict,
+    arch_to_dict,
+    load_arch,
+    save_arch,
+)
 from repro.config.presets import (
     default_arch,
     small_test_arch,
@@ -45,6 +52,8 @@ __all__ = [
     "with_num_cores",
     "arch_to_dict",
     "arch_from_dict",
+    "arch_canonical_json",
+    "arch_fingerprint",
     "save_arch",
     "load_arch",
 ]

@@ -1,11 +1,16 @@
-"""Serialisation of architecture configurations to/from JSON.
+"""Serialisation and fingerprinting of architecture configurations.
 
 The paper's workflow takes a user-supplied architecture configuration file;
 this module implements that interface.  The JSON layout mirrors the
 dataclass hierarchy one-to-one, so a configuration file documents itself.
+
+:func:`arch_fingerprint` hashes the canonical JSON form, giving every
+architecture point a stable content address; the design-space exploration
+cache (:mod:`repro.explore_cache`) keys results by it.
 """
 
 import dataclasses
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Dict, Union
@@ -31,6 +36,26 @@ from repro.errors import ConfigError
 def arch_to_dict(arch: ArchConfig) -> Dict[str, Any]:
     """Convert an :class:`ArchConfig` into a plain, JSON-safe dictionary."""
     return dataclasses.asdict(arch)
+
+
+def arch_canonical_json(arch: ArchConfig) -> str:
+    """Canonical (sorted-key, compact) JSON form of an architecture.
+
+    Two :class:`ArchConfig` instances describe the same hardware point iff
+    their canonical JSON strings are equal.
+    """
+    return json.dumps(
+        arch_to_dict(arch), sort_keys=True, separators=(",", ":")
+    )
+
+
+def arch_fingerprint(arch: ArchConfig) -> str:
+    """Content address of an architecture point (hex SHA-256).
+
+    Stable across processes and sessions, so it can key on-disk sweep
+    caches and name generated artifacts.
+    """
+    return hashlib.sha256(arch_canonical_json(arch).encode()).hexdigest()
 
 
 def _build(cls, data: Dict[str, Any], nested: Dict[str, Any]):

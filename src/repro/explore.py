@@ -1,23 +1,59 @@
-"""Design-space exploration drivers behind the paper's evaluation section.
+"""Design-space exploration engine behind the paper's evaluation section.
 
-These functions regenerate the experiments of Sec. IV:
+The paper's Sec. IV experiments are all cross-product sweeps over the
+same axes -- models x compilation strategies x macro-group sizes x NoC
+flit widths x input resolutions.  This module turns that into a proper
+subsystem:
 
-- :func:`evaluate_fast` -- plan a (model, architecture, strategy) point and
-  analyse it with the row-granular fast model (used at paper-scale
-  224x224 resolution, DESIGN.md substitution #5);
+- :class:`SweepSpec` declaratively describes the cross product;
+- :func:`run_sweep` executes it, fanning points out over a
+  ``concurrent.futures.ProcessPoolExecutor`` (each worker keeps its own
+  model-graph cache) and consulting an optional content-addressed on-disk
+  :class:`~repro.explore_cache.ResultCache` so repeated sweeps skip
+  already-evaluated points;
+- :func:`evaluate_fast` plans and analyses a single point in-process
+  (returning the full :class:`~repro.compiler.plan.ExecutionPlan` for
+  inspection).
+
+The figure drivers are thin wrappers over the engine:
+
 - :func:`strategy_comparison` -- Fig. 5 (normalized speed/energy of the
   three compilation strategies);
 - :func:`mg_flit_sweep` -- Fig. 6 (energy breakdown and throughput across
   macro-group sizes and NoC flit widths);
 - :func:`design_space` -- Fig. 7 (the SW/HW co-design scatter).
+
+The ``python -m repro sweep`` CLI (:mod:`repro.cli`) exposes the engine
+from the command line with JSON/CSV export.  See ``docs/ARCHITECTURE.md``
+("Design-space exploration") for the full picture.
 """
 
+import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
 
-from repro.config import ArchConfig, default_arch, with_flit_bytes, with_mg_size
+from repro.config import (
+    ArchConfig,
+    arch_fingerprint,
+    default_arch,
+    with_flit_bytes,
+    with_mg_size,
+)
 from repro.compiler.pipeline import plan_graph
 from repro.compiler.plan import ExecutionPlan
+from repro.errors import ConfigError
+from repro.explore_cache import ResultCache, point_key
 from repro.graph.graph import ComputationGraph
 from repro.graph.models import get_model
 from repro.sim.fastmodel import FastReport, analyze_plan
@@ -25,6 +61,16 @@ from repro.sim.fastmodel import FastReport, analyze_plan
 #: Axes the paper sweeps in Fig. 6 / Fig. 7.
 MG_SIZES = (4, 8, 12, 16)
 FLIT_SIZES = (8, 16)
+
+#: Per-model closure limit: a plain int, a {model: limit} map, or None.
+#: Mappings are normalised to sorted (model, limit) tuples inside
+#: :class:`SweepSpec` so specs stay hashable.
+ClosureLimit = Union[
+    None,
+    int,
+    Mapping[str, Optional[int]],
+    Tuple[Tuple[str, Optional[int]], ...],
+]
 
 
 @dataclass
@@ -36,7 +82,10 @@ class DesignPoint:
     mg_size: int
     flit_bytes: int
     report: FastReport
-    plan: ExecutionPlan = field(repr=False, default=None)
+    plan: Optional[ExecutionPlan] = field(repr=False, default=None)
+    input_size: int = 224
+    num_classes: int = 1000
+    cached: bool = field(default=False, compare=False)
 
     @property
     def cycles(self) -> int:
@@ -50,11 +99,35 @@ class DesignPoint:
     def tops(self) -> float:
         return self.report.tops
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form used by the CLI exporters (plan is not included)."""
+        return {
+            "model": self.model,
+            "strategy": self.strategy,
+            "mg_size": self.mg_size,
+            "flit_bytes": self.flit_bytes,
+            "input_size": self.input_size,
+            "num_classes": self.num_classes,
+            "cycles": self.cycles,
+            "time_ms": self.report.time_ms,
+            "energy_mj": self.energy_mj,
+            "tops": self.tops,
+            "cached": self.cached,
+            "energy_groups_mj": self.report.grouped_energy_mj(),
+            "report": self.report.to_dict(),
+        }
+
 
 _graph_cache: Dict[Tuple[str, int, int], ComputationGraph] = {}
 
 
 def _cached_graph(model: str, input_size: int, num_classes: int) -> ComputationGraph:
+    """Process-local model-graph cache.
+
+    Sweep workers are separate processes, so each naturally keeps its own
+    copy and a model built once per worker is reused for every strategy /
+    architecture point that worker evaluates.
+    """
     key = (model, input_size, num_classes)
     if key not in _graph_cache:
         _graph_cache[key] = get_model(
@@ -71,7 +144,11 @@ def evaluate_fast(
     num_classes: int = 1000,
     closure_limit: Optional[int] = None,
 ) -> DesignPoint:
-    """Plan and analyse one design point with the fast model."""
+    """Plan and analyse one design point with the fast model.
+
+    Unlike :func:`run_sweep` results, the returned point carries the full
+    :class:`ExecutionPlan` for inspection.
+    """
     arch = arch or default_arch()
     graph = _cached_graph(model, input_size, num_classes)
     plan = plan_graph(graph, arch, strategy, closure_limit)
@@ -83,8 +160,348 @@ def evaluate_fast(
         flit_bytes=arch.chip.noc.flit_bytes,
         report=report,
         plan=plan,
+        input_size=input_size,
+        num_classes=num_classes,
     )
 
+
+# ---------------------------------------------------------------------------
+# Sweep specification
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PointSpec:
+    """Fully-resolved coordinates of one sweep point (picklable).
+
+    ``mg_size`` / ``flit_bytes`` of ``None`` mean "keep the base
+    architecture's value" -- used by sweeps that only vary software axes.
+    """
+
+    model: str
+    strategy: str
+    input_size: int
+    num_classes: int
+    mg_size: Optional[int] = None
+    flit_bytes: Optional[int] = None
+    closure_limit: Optional[int] = None
+
+    def resolve_arch(self, base: ArchConfig) -> ArchConfig:
+        arch = base
+        if self.mg_size is not None:
+            arch = with_mg_size(arch, self.mg_size)
+        if self.flit_bytes is not None:
+            arch = with_flit_bytes(arch, self.flit_bytes)
+        return arch
+
+    def cache_key(self, base: ArchConfig) -> str:
+        return point_key(
+            self.model,
+            self.resolve_arch(base),
+            self.strategy,
+            self.input_size,
+            self.num_classes,
+            self.closure_limit,
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a cross-product design-space sweep.
+
+    Axes with value ``None`` are not varied: the corresponding parameter
+    of ``base_arch`` is used unchanged.  ``closure_limit`` bounds the DP
+    partitioner's closure enumeration and may be given per model (Fig. 7
+    caps EfficientNetB0 at 64 to keep the sweep tractable).
+    """
+
+    models: Tuple[str, ...]
+    strategies: Tuple[str, ...] = ("dp",)
+    mg_sizes: Optional[Tuple[int, ...]] = None
+    flit_sizes: Optional[Tuple[int, ...]] = None
+    input_sizes: Tuple[int, ...] = (224,)
+    num_classes: int = 1000
+    base_arch: Optional[ArchConfig] = None
+    closure_limit: ClosureLimit = None
+
+    def __post_init__(self):
+        # Normalise iterables handed in as lists/generators to tuples so
+        # the spec stays hashable and its cross product is re-iterable.
+        for name in ("models", "strategies", "mg_sizes", "flit_sizes",
+                     "input_sizes"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+        if isinstance(self.closure_limit, Mapping):
+            object.__setattr__(
+                self,
+                "closure_limit",
+                tuple(sorted(self.closure_limit.items())),
+            )
+        if not self.models:
+            raise ConfigError("sweep needs at least one model")
+        if not self.strategies:
+            raise ConfigError("sweep needs at least one strategy")
+        if not self.input_sizes:
+            raise ConfigError("sweep needs at least one input size")
+
+    def arch(self) -> ArchConfig:
+        return self.base_arch or default_arch()
+
+    def limit_for(self, model: str) -> Optional[int]:
+        if isinstance(self.closure_limit, tuple):
+            return dict(self.closure_limit).get(model)
+        return self.closure_limit
+
+    def points(self) -> List[PointSpec]:
+        """The cross product, in deterministic order.
+
+        Order (outer to inner): model, strategy, input size, flit width,
+        MG size -- matching the row order of the paper's figure tables.
+        """
+        mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
+        flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
+        out: List[PointSpec] = []
+        for model in self.models:
+            for strategy in self.strategies:
+                for input_size in self.input_sizes:
+                    for flit in flit_axis:
+                        for mg in mg_axis:
+                            out.append(PointSpec(
+                                model=model,
+                                strategy=strategy,
+                                input_size=input_size,
+                                num_classes=self.num_classes,
+                                mg_size=mg,
+                                flit_bytes=flit,
+                                closure_limit=self.limit_for(model),
+                            ))
+        return out
+
+    def __len__(self) -> int:
+        return (
+            len(self.models) * len(self.strategies) * len(self.input_sizes)
+            * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form for sweep-result files (base arch by fingerprint)."""
+        limit = self.closure_limit
+        if isinstance(limit, tuple):
+            limit = dict(limit)
+        return {
+            "models": list(self.models),
+            "strategies": list(self.strategies),
+            "mg_sizes": list(self.mg_sizes) if self.mg_sizes else None,
+            "flit_sizes": list(self.flit_sizes) if self.flit_sizes else None,
+            "input_sizes": list(self.input_sizes),
+            "num_classes": self.num_classes,
+            "closure_limit": limit,
+            "arch_fingerprint": arch_fingerprint(self.arch()),
+            "num_points": len(self),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Execution engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Bookkeeping of one :func:`run_sweep` execution."""
+
+    total_points: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    wall_time_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.total_points if self.total_points else 0.0
+
+
+@dataclass
+class SweepResult:
+    """Evaluated sweep: points in :meth:`SweepSpec.points` order + stats."""
+
+    spec: SweepSpec
+    points: List[DesignPoint]
+    stats: SweepStats
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def by_model(self) -> Dict[str, List[DesignPoint]]:
+        out: Dict[str, List[DesignPoint]] = {}
+        for pt in self.points:
+            out.setdefault(pt.model, []).append(pt)
+        return out
+
+    def by_model_strategy(self) -> Dict[str, Dict[str, List[DesignPoint]]]:
+        out: Dict[str, Dict[str, List[DesignPoint]]] = {}
+        for pt in self.points:
+            out.setdefault(pt.model, {}).setdefault(pt.strategy, []).append(pt)
+        return out
+
+    def best(self, metric: str = "tops") -> DesignPoint:
+        """Best point: highest ``tops``, or lowest ``energy_mj``/``cycles``."""
+        if metric == "tops":
+            return max(self.points, key=lambda p: p.tops)
+        if metric in ("energy_mj", "cycles"):
+            return min(self.points, key=lambda p: getattr(p, metric))
+        raise ConfigError(
+            f"unknown metric {metric!r}; expected tops/energy_mj/cycles"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "stats": {
+                "total_points": self.stats.total_points,
+                "evaluated": self.stats.evaluated,
+                "cache_hits": self.stats.cache_hits,
+                "cache_misses": self.stats.cache_misses,
+                "workers": self.stats.workers,
+                "wall_time_s": self.stats.wall_time_s,
+            },
+            "points": [pt.to_dict() for pt in self.points],
+        }
+
+
+def _evaluate_spec(pspec: PointSpec, base_arch: ArchConfig) -> DesignPoint:
+    """Evaluate one point; shared by the serial path and pool workers.
+
+    Drops the (large, partly unpicklable) execution plan so results are
+    cheap to ship between processes and identical to cache-served points.
+    """
+    point = evaluate_fast(
+        pspec.model,
+        pspec.resolve_arch(base_arch),
+        pspec.strategy,
+        pspec.input_size,
+        pspec.num_classes,
+        pspec.closure_limit,
+    )
+    point.plan = None
+    return point
+
+
+def _worker_evaluate(
+    args: Tuple[int, PointSpec, ArchConfig]
+) -> Tuple[int, DesignPoint]:
+    """Top-level pool entry point (must be importable for pickling)."""
+    index, pspec, base_arch = args
+    return index, _evaluate_spec(pspec, base_arch)
+
+
+def _point_from_report(pspec: PointSpec, base: ArchConfig,
+                       report: FastReport, cached: bool) -> DesignPoint:
+    arch = pspec.resolve_arch(base)
+    return DesignPoint(
+        model=pspec.model,
+        strategy=pspec.strategy,
+        mg_size=arch.chip.core.cim_unit.macro_group.num_macros,
+        flit_bytes=arch.chip.noc.flit_bytes,
+        report=report,
+        plan=None,
+        input_size=pspec.input_size,
+        num_classes=pspec.num_classes,
+        cached=cached,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int, DesignPoint], None]] = None,
+) -> SweepResult:
+    """Execute a sweep, optionally in parallel and/or through the cache.
+
+    ``workers``: ``None``/``0``/``1`` evaluates serially in-process;
+    ``N > 1`` fans uncached points out over a process pool (each worker
+    keeps its own model-graph cache).  Results are returned in
+    :meth:`SweepSpec.points` order regardless of completion order, so the
+    parallel path is bit-identical to the serial one.
+
+    ``cache``: a :class:`ResultCache`; hits skip evaluation entirely and
+    fresh results are stored for the next run.
+
+    ``progress``: called as ``progress(done, total, point)`` after every
+    point completes (cache hits included).
+    """
+    base = spec.arch()
+    base.validate()
+    pspecs = spec.points()
+    stats = SweepStats(total_points=len(pspecs), workers=max(1, workers or 1))
+    started = time.perf_counter()
+
+    results: List[Optional[DesignPoint]] = [None] * len(pspecs)
+    done = 0
+
+    def finish(index: int, point: DesignPoint) -> None:
+        nonlocal done
+        results[index] = point
+        done += 1
+        if progress is not None:
+            progress(done, len(pspecs), point)
+
+    # Pass 1: serve what we can from the cache.
+    pending: List[Tuple[int, PointSpec]] = []
+    keys: Dict[int, str] = {}
+    for index, pspec in enumerate(pspecs):
+        if cache is not None:
+            key = pspec.cache_key(base)
+            keys[index] = key
+            report = cache.lookup(key)
+            if report is not None:
+                stats.cache_hits += 1
+                finish(index, _point_from_report(pspec, base, report, True))
+                continue
+            stats.cache_misses += 1
+        pending.append((index, pspec))
+
+    # Pass 2: evaluate the misses (serially or across the pool).
+    def record(index: int, pspec: PointSpec, point: DesignPoint) -> None:
+        stats.evaluated += 1
+        if cache is not None:
+            cache.store(
+                keys[index],
+                point.report,
+                meta={
+                    "model": pspec.model,
+                    "strategy": pspec.strategy,
+                    "input_size": pspec.input_size,
+                    "num_classes": pspec.num_classes,
+                    "mg_size": point.mg_size,
+                    "flit_bytes": point.flit_bytes,
+                    "closure_limit": pspec.closure_limit,
+                },
+            )
+        finish(index, point)
+
+    if stats.workers <= 1 or len(pending) <= 1:
+        for index, pspec in pending:
+            record(index, pspec, _evaluate_spec(pspec, base))
+    else:
+        by_index = dict(pending)
+        with ProcessPoolExecutor(max_workers=stats.workers) as pool:
+            jobs = [(index, pspec, base) for index, pspec in pending]
+            for index, point in pool.map(_worker_evaluate, jobs):
+                record(index, by_index[index], point)
+
+    stats.wall_time_s = time.perf_counter() - started
+    assert all(pt is not None for pt in results)
+    return SweepResult(spec=spec, points=results, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Figure drivers (thin wrappers over the engine)
+# ---------------------------------------------------------------------------
 
 def strategy_comparison(
     models: Iterable[str],
@@ -92,17 +509,22 @@ def strategy_comparison(
     strategies: Iterable[str] = ("generic", "duplication", "dp"),
     input_size: int = 224,
     num_classes: int = 1000,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Dict[str, Dict[str, DesignPoint]]:
     """Fig. 5: every strategy on every model at the default architecture."""
-    arch = arch or default_arch()
-    results: Dict[str, Dict[str, DesignPoint]] = {}
-    for model in models:
-        results[model] = {}
-        for strategy in strategies:
-            results[model][strategy] = evaluate_fast(
-                model, arch, strategy, input_size, num_classes
-            )
-    return results
+    spec = SweepSpec(
+        models=tuple(models),
+        strategies=tuple(strategies),
+        input_sizes=(input_size,),
+        num_classes=num_classes,
+        base_arch=arch,
+    )
+    result = run_sweep(spec, workers=workers, cache=cache)
+    return {
+        model: {strategy: points[0] for strategy, points in by_strategy.items()}
+        for model, by_strategy in result.by_model_strategy().items()
+    }
 
 
 def mg_flit_sweep(
@@ -113,17 +535,20 @@ def mg_flit_sweep(
     base_arch: Optional[ArchConfig] = None,
     input_size: int = 224,
     num_classes: int = 1000,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[DesignPoint]:
     """Fig. 6 / Fig. 7 hardware axes: MG size x NoC flit width."""
-    base = base_arch or default_arch()
-    points = []
-    for flit in flit_sizes:
-        for mg in mg_sizes:
-            arch = with_flit_bytes(with_mg_size(base, mg), flit)
-            points.append(
-                evaluate_fast(model, arch, strategy, input_size, num_classes)
-            )
-    return points
+    spec = SweepSpec(
+        models=(model,),
+        strategies=(strategy,),
+        mg_sizes=tuple(mg_sizes),
+        flit_sizes=tuple(flit_sizes),
+        input_sizes=(input_size,),
+        num_classes=num_classes,
+        base_arch=base_arch,
+    )
+    return run_sweep(spec, workers=workers, cache=cache).points
 
 
 def design_space(
@@ -134,14 +559,17 @@ def design_space(
     base_arch: Optional[ArchConfig] = None,
     input_size: int = 224,
     num_classes: int = 1000,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> List[DesignPoint]:
     """Fig. 7: the full SW/HW cross product for one model."""
-    points = []
-    for strategy in strategies:
-        points.extend(
-            mg_flit_sweep(
-                model, strategy, mg_sizes, flit_sizes, base_arch,
-                input_size, num_classes,
-            )
-        )
-    return points
+    spec = SweepSpec(
+        models=(model,),
+        strategies=tuple(strategies),
+        mg_sizes=tuple(mg_sizes),
+        flit_sizes=tuple(flit_sizes),
+        input_sizes=(input_size,),
+        num_classes=num_classes,
+        base_arch=base_arch,
+    )
+    return run_sweep(spec, workers=workers, cache=cache).points

@@ -1,0 +1,172 @@
+"""Content-addressed on-disk cache for design-space exploration results.
+
+Evaluating one (model, architecture, strategy) point with the fast model
+costs 0.3-5 s of pure Python at paper scale; the Fig. 5-7 sweeps evaluate
+dozens of points and re-anchored benchmark runs repeat them verbatim.
+This module gives every point a deterministic content address -- the
+SHA-256 of its identifying material (model, input resolution, strategy,
+closure limit, and the :func:`repro.config.arch_fingerprint` of the exact
+architecture) -- and stores the resulting :class:`~repro.sim.fastmodel.
+FastReport` as a small JSON file under that address.  A second sweep over
+the same points is then served from disk in milliseconds.
+
+The cache is safe to share between processes: files are written atomically
+(temp file + ``os.replace``) and a corrupt or version-mismatched entry is
+treated as a miss, never an error.
+
+Layout::
+
+    <root>/<first two hex chars>/<full 64-hex key>.json
+
+Default location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/explore``.
+"""
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.config import ArchConfig, arch_fingerprint
+from repro.sim.fastmodel import FastReport
+
+#: Bump when the fast model's semantics change; invalidates old entries.
+CACHE_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the default cache root (env override, then XDG-style)."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "explore"
+
+
+def point_key(
+    model: str,
+    arch: ArchConfig,
+    strategy: str,
+    input_size: int,
+    num_classes: int,
+    closure_limit: Optional[int] = None,
+) -> str:
+    """Content address (hex SHA-256) of one design point.
+
+    Everything that can change the fast-model report participates in the
+    key; the architecture contributes through its own content fingerprint
+    so structurally identical :class:`ArchConfig` instances collide (which
+    is exactly what we want).
+    """
+    material = json.dumps(
+        {
+            "schema": CACHE_SCHEMA_VERSION,
+            "model": model,
+            "arch": arch_fingerprint(arch),
+            "strategy": strategy,
+            "input_size": input_size,
+            "num_classes": num_classes,
+            "closure_limit": closure_limit,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class ResultCache:
+    """On-disk result store addressed by :func:`point_key`.
+
+    Tracks per-instance ``hits`` / ``misses`` counters so sweep drivers
+    can report cache effectiveness (the CLI prints them after each sweep).
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        self.root = Path(root) if root is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    # -- addressing ---------------------------------------------------------
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    # -- read / write -------------------------------------------------------
+    def lookup(self, key: str) -> Optional[FastReport]:
+        """Return the cached report for ``key``, or ``None`` on a miss.
+
+        Unreadable, corrupt, or schema-mismatched entries count as misses.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != CACHE_SCHEMA_VERSION:
+                raise ValueError("cache schema mismatch")
+            report = FastReport.from_dict(payload["report"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return report
+
+    def store(
+        self,
+        key: str,
+        report: FastReport,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Atomically persist ``report`` under ``key``.
+
+        ``meta`` (model name, strategy, ...) is stored alongside purely for
+        human inspection of cache files; it never participates in lookup.
+        """
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "meta": meta or {},
+            "report": report.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    # -- maintenance --------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for entry in self.root.glob("??/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0

@@ -5,6 +5,7 @@ layer stacks at reduced resolution (DESIGN.md substitution #5) and ``seed``
 for reproducible synthetic INT8 weights.
 """
 
+import inspect
 from typing import Callable, Dict, List
 
 from repro.errors import GraphError
@@ -34,14 +35,29 @@ def available_models() -> List[str]:
     return sorted(_REGISTRY)
 
 
+#: Sweep axes every builder is assumed to understand; silently dropped for
+#: builders that don't take them (tiny_mlp has a flat input, so sweeping
+#: input_size over the whole zoo must not crash on it).
+_AXIS_KWARGS = ("input_size", "num_classes")
+
+
 def get_model(name: str, **kwargs) -> ComputationGraph:
-    """Build a model from the zoo by name."""
+    """Build a model from the zoo by name.
+
+    The sweep-axis kwargs (``input_size``, ``num_classes``) are dropped
+    for builders whose signature lacks them; any other unknown kwarg
+    still fails loudly.
+    """
     try:
         builder = _REGISTRY[name]
     except KeyError:
         raise GraphError(
             f"unknown model {name!r}; available: {available_models()}"
         ) from None
+    accepted = set(inspect.signature(builder).parameters)
+    for axis in _AXIS_KWARGS:
+        if axis in kwargs and axis not in accepted:
+            kwargs.pop(axis)
     return builder(**kwargs)
 
 

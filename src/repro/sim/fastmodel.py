@@ -15,6 +15,9 @@ partitioner optimises (:class:`repro.compiler.cost.CostModel.estimate_stage`
 uses max-plus-fill, with no dependency recurrences), so evaluating a plan
 with the fast model is not circular.  Tests cross-validate it against the
 cycle simulator at small scales.
+
+See ``docs/ARCHITECTURE.md`` ("The simulation stack") for how this model
+relates to the cycle-level simulator and the golden functional model.
 """
 
 from dataclasses import dataclass, field
@@ -54,6 +57,37 @@ class FastReport:
         if seconds <= 0:
             return 0.0
         return 2.0 * self.macs / seconds / 1e12
+
+    def to_dict(self) -> Dict:
+        """JSON-safe form (inverse of :meth:`from_dict`).
+
+        Used by the on-disk sweep cache and the CLI exporters, so it must
+        round-trip exactly: ``FastReport.from_dict(r.to_dict()) == r``.
+        """
+        return {
+            "cycles": int(self.cycles),
+            "energy_breakdown_pj": {
+                k: float(v) for k, v in self.energy_breakdown_pj.items()
+            },
+            "macs": int(self.macs),
+            "clock_mhz": int(self.clock_mhz),
+            "stage_cycles": {
+                str(k): int(v) for k, v in self.stage_cycles.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FastReport":
+        """Rebuild a report from :meth:`to_dict` output (e.g. a cache file)."""
+        return cls(
+            cycles=int(data["cycles"]),
+            energy_breakdown_pj=dict(data["energy_breakdown_pj"]),
+            macs=int(data["macs"]),
+            clock_mhz=int(data["clock_mhz"]),
+            stage_cycles={
+                int(k): int(v) for k, v in data.get("stage_cycles", {}).items()
+            },
+        )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
         """Fig. 6 grouping: local memory / compute / NoC (+ global, other)."""

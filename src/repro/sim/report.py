@@ -63,6 +63,31 @@ class SimulationReport:
             "other": e.get("instruction", 0.0) + e.get("static", 0.0),
         }
 
+    def to_dict(self) -> Dict:
+        """JSON-safe form (used by ``python -m repro run --json``).
+
+        The architecture is summarised by its content fingerprint rather
+        than inlined; use :func:`repro.config.save_arch` to persist it.
+        """
+        from repro.config import arch_fingerprint
+
+        return {
+            "arch_fingerprint": arch_fingerprint(self.arch),
+            "cycles": int(self.cycles),
+            "time_ms": self.time_ms,
+            "total_energy_mj": self.total_energy_mj,
+            "tops": self.tops,
+            "macs": int(self.macs),
+            "instructions": int(self.instructions),
+            "noc_bytes": int(self.noc_bytes),
+            "noc_byte_hops": int(self.noc_byte_hops),
+            "utilization": {k: float(v) for k, v in self.utilization.items()},
+            "energy_breakdown_pj": {
+                k: float(v) for k, v in self.energy_breakdown_pj.items()
+            },
+            "energy_groups_mj": self.grouped_energy_mj(),
+        }
+
     def __str__(self) -> str:
         lines = [
             f"cycles            : {self.cycles:,}",

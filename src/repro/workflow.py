@@ -7,14 +7,21 @@ evaluating DNN workloads on digital CIM architectures"::
     from repro import run_workflow
     result = run_workflow("resnet18", input_size=32)
     print(result.report)
+
+``arch`` may be an :class:`~repro.config.ArchConfig` or a path to a JSON
+architecture file (the user-supplied configuration of Fig. 2); the same
+workflow is available from the command line as ``python -m repro run``.
+See ``docs/ARCHITECTURE.md`` for how this cycle-accurate path relates to
+the fast-model sweeps in :mod:`repro.explore`.
 """
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
-from repro.config import ArchConfig, default_arch
+from repro.config import ArchConfig, default_arch, load_arch
 from repro.errors import ValidationError
 from repro.compiler import CompiledModel, compile_graph
 from repro.graph.graph import ComputationGraph
@@ -48,15 +55,30 @@ def _resolve_graph(
     return get_model(model, **model_kwargs)
 
 
+ArchLike = Union[ArchConfig, str, Path, None]
+
+
+def _resolve_arch(arch: ArchLike) -> ArchConfig:
+    if arch is None:
+        return default_arch()
+    if isinstance(arch, (str, Path)):
+        return load_arch(arch)
+    return arch
+
+
 def compile_model(
     model: Union[str, ComputationGraph],
-    arch: Optional[ArchConfig] = None,
+    arch: ArchLike = None,
     strategy: str = "dp",
     **model_kwargs,
 ) -> CompiledModel:
-    """Compile a model (zoo name or graph) for an architecture."""
+    """Compile a model (zoo name or graph) for an architecture.
+
+    ``arch`` accepts a ready :class:`ArchConfig` or the path of a JSON
+    architecture configuration file (``None`` = the paper's Table I).
+    """
     graph = _resolve_graph(model, **model_kwargs)
-    return compile_graph(graph, arch or default_arch(), strategy=strategy)
+    return compile_graph(graph, _resolve_arch(arch), strategy=strategy)
 
 
 def simulate(
@@ -115,7 +137,7 @@ def simulate(
 
 def run_workflow(
     model: Union[str, ComputationGraph],
-    arch: Optional[ArchConfig] = None,
+    arch: ArchLike = None,
     strategy: str = "dp",
     input_data: Optional[np.ndarray] = None,
     validate: bool = True,

@@ -1,0 +1,137 @@
+"""Smoke tests for the ``python -m repro`` command line."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.config import save_arch, small_test_arch
+
+
+def run_cli(*argv):
+    return main(list(argv))
+
+
+@pytest.fixture
+def small_arch_file(tmp_path):
+    path = tmp_path / "small.json"
+    save_arch(small_test_arch(), path)
+    return str(path)
+
+
+class TestParser:
+    @pytest.mark.parametrize("command", ["run", "sweep", "compare", "report"])
+    def test_help_exits_zero(self, command, capsys):
+        with pytest.raises(SystemExit) as exc:
+            run_cli(command, "--help")
+        assert exc.value.code == 0
+        assert "usage:" in capsys.readouterr().out
+
+    def test_module_invocation(self):
+        """`python -m repro sweep --help` works as a real subprocess."""
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep", "--help"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "--workers" in proc.stdout
+
+    def test_unknown_model_is_reported(self, capsys):
+        assert run_cli(
+            "sweep", "--models", "no_such_model", "--preset", "small",
+            "--input-sizes", "8", "--num-classes", "10", "--no-cache",
+            "--quiet",
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_tiny_sweep_with_cache_json_csv(self, tmp_path, capsys):
+        out_json = tmp_path / "sweep.json"
+        out_csv = tmp_path / "sweep.csv"
+        cache_dir = tmp_path / "cache"
+        argv = (
+            "sweep", "--models", "tiny_cnn", "--strategies", "generic,dp",
+            "--input-sizes", "8", "--num-classes", "10", "--preset", "small",
+            "--cache-dir", str(cache_dir), "--quiet",
+            "--json", str(out_json), "--csv", str(out_csv),
+        )
+        assert run_cli(*argv) == 0
+        first = capsys.readouterr().out
+        assert "2 evaluated, 0 cache hits" in first
+
+        payload = json.loads(out_json.read_text())
+        assert len(payload["points"]) == 2
+        assert {p["strategy"] for p in payload["points"]} == {"generic", "dp"}
+        assert out_csv.read_text().startswith("model,strategy,")
+
+        # second run: everything served from the on-disk cache
+        assert run_cli(*argv) == 0
+        second = capsys.readouterr().out
+        assert "0 evaluated, 2 cache hits (100%)" in second
+
+    def test_arch_file_and_closure_limit(self, small_arch_file, capsys):
+        assert run_cli(
+            "sweep", "--models", "tiny_cnn", "--strategies", "dp",
+            "--input-sizes", "8", "--num-classes", "10",
+            "--arch", small_arch_file, "--closure-limit", "tiny_cnn=4",
+            "--no-cache", "--quiet",
+        ) == 0
+        assert "tiny_cnn" in capsys.readouterr().out
+
+
+class TestRunCommand:
+    def test_run_tiny_model(self, tmp_path, capsys):
+        out_json = tmp_path / "run.json"
+        assert run_cli(
+            "run", "tiny_resnet", "--preset", "small", "--input-size", "8",
+            "--json", str(out_json),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "validated : bit-exact vs golden model" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["validated"] is True
+        assert payload["report"]["cycles"] > 0
+
+
+class TestCompareCommand:
+    def test_normalized_table(self, capsys):
+        assert run_cli(
+            "compare", "--models", "tiny_cnn", "--strategies", "generic,dp",
+            "--input-size", "8", "--num-classes", "10", "--preset", "small",
+            "--no-cache",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "generic = 1.00" in out
+        assert "tiny_cnn" in out
+
+
+class TestReportCommand:
+    def test_roundtrip_from_sweep_json(self, tmp_path, capsys):
+        out_json = tmp_path / "sweep.json"
+        run_cli(
+            "sweep", "--models", "tiny_cnn", "--strategies", "generic,dp",
+            "--input-sizes", "8", "--num-classes", "10", "--preset", "small",
+            "--no-cache", "--quiet", "--json", str(out_json),
+        )
+        capsys.readouterr()
+        out_csv = tmp_path / "report.csv"
+        assert run_cli(
+            "report", str(out_json), "--best", "cycles", "--top", "1",
+            "--csv", str(out_csv),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top 1 by cycles" in out
+        assert out_csv.exists()
+
+    def test_missing_file_is_an_error(self, tmp_path, capsys):
+        assert run_cli("report", str(tmp_path / "absent.json")) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,281 @@
+"""Tests for the design-space exploration engine and its result cache."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    arch_fingerprint,
+    default_arch,
+    small_test_arch,
+    with_flit_bytes,
+    with_mg_size,
+)
+from repro.errors import ConfigError
+from repro.explore import (
+    DesignPoint,
+    PointSpec,
+    SweepSpec,
+    evaluate_fast,
+    run_sweep,
+)
+from repro.explore_cache import CACHE_SCHEMA_VERSION, ResultCache, point_key
+from repro.sim.fastmodel import FastReport
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        models=("tiny_cnn", "tiny_resnet"),
+        strategies=("generic", "dp"),
+        mg_sizes=(2,),
+        flit_sizes=(8, 16),
+        input_sizes=(8,),
+        num_classes=10,
+        base_arch=small_test_arch(),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestArchFingerprint:
+    def test_stable_across_instances(self):
+        assert arch_fingerprint(default_arch()) == arch_fingerprint(
+            default_arch()
+        )
+
+    def test_sensitive_to_every_swept_axis(self):
+        base = default_arch()
+        prints = {
+            arch_fingerprint(base),
+            arch_fingerprint(with_mg_size(base, 4)),
+            arch_fingerprint(with_flit_bytes(base, 16)),
+        }
+        assert len(prints) == 3
+
+
+class TestSweepSpec:
+    def test_cross_product_size_and_order(self):
+        spec = tiny_spec()
+        points = spec.points()
+        assert len(points) == len(spec) == 2 * 2 * 1 * 2
+        # model is the outermost axis, MG the innermost
+        assert [p.model for p in points[:4]] == ["tiny_cnn"] * 4
+        assert points[0].flit_bytes == 8 and points[1].flit_bytes == 16
+
+    def test_none_axes_keep_base_arch(self):
+        spec = tiny_spec(mg_sizes=None, flit_sizes=None)
+        (first, *_) = spec.points()
+        assert first.mg_size is None and first.flit_bytes is None
+        assert first.resolve_arch(spec.arch()) == spec.arch()
+
+    def test_per_model_closure_limits(self):
+        spec = tiny_spec(
+            closure_limit={"tiny_cnn": 4, "tiny_resnet": None}
+        )
+        limits = {p.model: p.closure_limit for p in spec.points()}
+        assert limits == {"tiny_cnn": 4, "tiny_resnet": None}
+
+    def test_spec_is_hashable_even_with_limit_map(self):
+        plain = tiny_spec()
+        mapped = tiny_spec(closure_limit={"tiny_cnn": 4})
+        assert len({plain, mapped, tiny_spec()}) == 2
+
+    def test_models_without_input_size_kwarg_sweep_fine(self):
+        """tiny_mlp has a flat input; axis kwargs must not crash it."""
+        result = run_sweep(tiny_spec(models=("tiny_mlp",), mg_sizes=None,
+                                     flit_sizes=None))
+        assert len(result) == 2  # two strategies
+        assert all(p.cycles > 0 for p in result.points)
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigError):
+            tiny_spec(models=())
+
+    def test_normalises_lists_to_tuples(self):
+        spec = tiny_spec(models=["tiny_cnn"], mg_sizes=[2])
+        assert spec.models == ("tiny_cnn",)
+        assert spec.mg_sizes == (2,)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = FastReport(
+            cycles=123, energy_breakdown_pj={"noc": 1.5}, macs=42,
+            clock_mhz=1000, stage_cycles={0: 123},
+        )
+        key = point_key("tiny_cnn", small_test_arch(), "dp", 8, 10, None)
+        assert cache.lookup(key) is None
+        cache.store(key, report, meta={"model": "tiny_cnn"})
+        assert cache.lookup(key) == report
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+
+    def test_key_distinguishes_every_coordinate(self):
+        arch = small_test_arch()
+        keys = {
+            point_key("tiny_cnn", arch, "dp", 8, 10, None),
+            point_key("tiny_resnet", arch, "dp", 8, 10, None),
+            point_key("tiny_cnn", arch, "generic", 8, 10, None),
+            point_key("tiny_cnn", arch, "dp", 16, 10, None),
+            point_key("tiny_cnn", arch, "dp", 8, 2, None),
+            point_key("tiny_cnn", arch, "dp", 8, 10, 4),
+            point_key("tiny_cnn", with_mg_size(arch, 4), "dp", 8, 10, None),
+        }
+        assert len(keys) == 7
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("tiny_cnn", small_test_arch(), "dp", 8, 10, None)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert cache.lookup(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = point_key("tiny_cnn", small_test_arch(), "dp", 8, 10, None)
+        report = FastReport(
+            cycles=1, energy_breakdown_pj={}, macs=1, clock_mhz=1000,
+        )
+        path = cache.store(key, report)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.lookup(key) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = FastReport(
+            cycles=1, energy_breakdown_pj={}, macs=1, clock_mhz=1000,
+        )
+        cache.store("ab" + "0" * 62, report)
+        cache.store("cd" + "0" * 62, report)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestRunSweep:
+    def test_matches_direct_evaluation(self):
+        spec = tiny_spec()
+        result = run_sweep(spec)
+        assert len(result) == len(spec)
+        direct = evaluate_fast(
+            "tiny_cnn",
+            with_flit_bytes(with_mg_size(small_test_arch(), 2), 8),
+            "generic", 8, 10,
+        )
+        assert result.points[0].report == direct.report
+        assert result.points[0].plan is None  # engine drops plans
+
+    def test_cache_miss_then_full_hit(self, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert first.stats.cache_hits == 0
+        assert first.stats.evaluated == len(spec)
+        second = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert second.stats.cache_hits == len(spec)
+        assert second.stats.evaluated == 0
+        assert second.stats.hit_rate == 1.0
+        assert all(p.cached for p in second.points)
+        assert [p.report for p in first.points] == [
+            p.report for p in second.points
+        ]
+
+    def test_cache_keys_differ_across_strategies(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(tiny_spec(strategies=("generic",)), cache=cache)
+        result = run_sweep(tiny_spec(strategies=("dp",)), cache=cache)
+        assert result.stats.cache_hits == 0
+
+    def test_parallel_equals_serial(self):
+        spec = tiny_spec()
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert parallel.stats.workers == 2
+        assert [p.report for p in parallel.points] == [
+            p.report for p in serial.points
+        ]
+        assert [(p.model, p.strategy, p.mg_size, p.flit_bytes)
+                for p in parallel.points] == [
+            (p.model, p.strategy, p.mg_size, p.flit_bytes)
+            for p in serial.points
+        ]
+
+    def test_parallel_with_cache_populates_and_hits(self, tmp_path):
+        spec = tiny_spec()
+        first = run_sweep(spec, workers=2, cache=ResultCache(tmp_path))
+        assert first.stats.evaluated == len(spec)
+        second = run_sweep(spec, workers=2, cache=ResultCache(tmp_path))
+        assert second.stats.cache_hits == len(spec)
+
+    def test_progress_callback_sees_every_point(self):
+        spec = tiny_spec()
+        seen = []
+        run_sweep(spec, progress=lambda done, total, pt: seen.append(
+            (done, total, pt.model)
+        ))
+        assert len(seen) == len(spec)
+        assert seen[-1][0] == len(spec)
+        assert all(total == len(spec) for _, total, _ in seen)
+
+    def test_grouping_helpers_and_best(self):
+        result = run_sweep(tiny_spec())
+        by_model = result.by_model()
+        assert set(by_model) == {"tiny_cnn", "tiny_resnet"}
+        nested = result.by_model_strategy()
+        assert set(nested["tiny_cnn"]) == {"generic", "dp"}
+        best = result.best("tops")
+        assert best.tops == max(p.tops for p in result.points)
+        fastest = result.best("cycles")
+        assert fastest.cycles == min(p.cycles for p in result.points)
+        with pytest.raises(ConfigError):
+            result.best("nope")
+
+    def test_result_to_dict_is_json_safe(self):
+        result = run_sweep(tiny_spec(models=("tiny_cnn",)))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["spec"]["models"] == ["tiny_cnn"]
+        assert len(payload["points"]) == len(result)
+        restored = FastReport.from_dict(payload["points"][0]["report"])
+        assert restored == result.points[0].report
+
+
+class TestDesignPoint:
+    def test_plan_is_optional(self):
+        report = FastReport(
+            cycles=1, energy_breakdown_pj={}, macs=1, clock_mhz=1000,
+        )
+        point = DesignPoint(
+            model="m", strategy="dp", mg_size=8, flit_bytes=8, report=report,
+        )
+        assert point.plan is None
+
+    def test_evaluate_fast_keeps_plan(self):
+        point = evaluate_fast(
+            "tiny_cnn", small_test_arch(), "dp", input_size=8, num_classes=10,
+        )
+        assert point.plan is not None
+        assert point.input_size == 8 and point.num_classes == 10
+
+
+class TestPointSpec:
+    def test_resolve_arch_applies_overrides(self):
+        base = small_test_arch()
+        pspec = PointSpec(
+            model="tiny_cnn", strategy="dp", input_size=8, num_classes=10,
+            mg_size=4, flit_bytes=16,
+        )
+        arch = pspec.resolve_arch(base)
+        assert arch.chip.core.cim_unit.macro_group.num_macros == 4
+        assert arch.chip.noc.flit_bytes == 16
+
+    def test_cache_key_matches_point_key(self):
+        base = small_test_arch()
+        pspec = PointSpec(
+            model="tiny_cnn", strategy="dp", input_size=8, num_classes=10,
+            mg_size=4, flit_bytes=16,
+        )
+        assert pspec.cache_key(base) == point_key(
+            "tiny_cnn", pspec.resolve_arch(base), "dp", 8, 10, None
+        )
