@@ -1,56 +1,210 @@
-"""Cycle-accurate simulator cross-check at reduced resolution.
+"""Cycle-level simulator perf-regression harness: engine vs interpreter.
 
-The figure sweeps run on the fast analytic model at 224x224 (DESIGN.md
-substitution #5); this benchmark anchors that model against the
-instruction-level cycle simulator: the full ResNet18 and MobileNetV2
-stacks are compiled, executed instruction by instruction, validated
-bit-exactly against the golden model, and compared with the fast model's
-latency prediction for the same plan.
+Times the hot-block execution engine (:mod:`repro.sim.blockengine`, the
+default) against the legacy per-instruction interpreter
+(``REPRO_SIM_ENGINE=interp``) on three workload classes and writes
+``BENCH_cyclesim.json`` so the performance trajectory is tracked
+PR-over-PR (CI uploads it as a non-gating artifact):
+
+- ``hot_loop``: every core runs a counted conv-style inner loop (the
+  paper's generated-code hot path: ``CIM_MVM`` + requantise + pointer
+  bumps + ``BLT``).  Dispatch-bound, so it isolates what the engine is
+  for; gated at >= 10x.
+- compiled models (``resnet18``, ``mobilenetv2``): end-to-end compiled
+  stacks where irreducible NumPy dataflow and NoC modelling bound the
+  achievable speedup; gated only on bit-identical reports.
+- the historical fast-model anchor (bit-exact golden validation plus an
+  order-of-magnitude latency agreement between the cycle simulator and
+  the analytic model).
+
+Every timed pair also asserts the exactness contract: identical
+``SimulationReport`` fields (cycles, energy breakdown, utilization, NoC
+counters, instruction counts) from both engines.
 """
 
-from repro import run_workflow
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import compile_model
 from repro.config import default_arch
+from repro.config.arch import GLOBAL_BASE
+from repro.isa import ProgramBuilder, SReg
+from repro.sim import blockengine
+from repro.sim.chip import ChipSimulator
 from repro.sim.fastmodel import analyze_plan
 
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cyclesim.json"
+_RESULTS = {}
 
-def _cross_check(model, input_size=32):
-    result = run_workflow(
+#: Timing rounds per engine (minimum is reported).
+ROUNDS = 2
+
+
+def _report_fields(report):
+    return {
+        "cycles": report.cycles,
+        "instructions": report.instructions,
+        "macs": report.macs,
+        "energy_breakdown_pj": report.energy_breakdown_pj,
+        "utilization": report.utilization,
+        "noc_bytes": report.noc_bytes,
+        "noc_byte_hops": report.noc_byte_hops,
+    }
+
+
+def _time_engine(make_sim, engine):
+    best = None
+    report = None
+    for _ in range(ROUNDS):
+        sim = make_sim(engine)
+        t0 = time.perf_counter()
+        report = sim.run()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, report
+
+
+def _bench_pair(name, make_sim):
+    """Time both engines, assert bit-identical reports, record results."""
+    make_sim("block").run()  # warm shape/block caches outside the clock
+    blockengine.reset_stats()
+    t_block, r_block = _time_engine(make_sim, "block")
+    stats = dict(blockengine.ENGINE_STATS)
+    t_interp, r_interp = _time_engine(make_sim, "interp")
+    assert _report_fields(r_interp) == _report_fields(r_block), (
+        f"{name}: engine reports diverge from the interpreter"
+    )
+    speedup = t_interp / t_block
+    entry = {
+        "interp_s": round(t_interp, 4),
+        "engine_s": round(t_block, 4),
+        "speedup": round(speedup, 2),
+        "instructions": int(r_block.instructions),
+        "cycles": int(r_block.cycles),
+        "interp_instr_per_s": round(r_block.instructions / t_interp),
+        "engine_instr_per_s": round(r_block.instructions / t_block),
+        "interp_cycles_per_s": round(r_block.cycles / t_interp),
+        "engine_cycles_per_s": round(r_block.cycles / t_block),
+        "engine_stats": stats,  # accumulated over the timing rounds
+    }
+    _RESULTS[name] = entry
+    print(
+        f"\n{name}: interp {t_interp:.2f}s vs engine {t_block:.3f}s "
+        f"-> {speedup:.1f}x ({r_block.instructions:,} instructions, "
+        f"{r_block.cycles:,} cycles, bit-identical)"
+    )
+    return entry
+
+
+def _hot_loop_program(iters=1500, rows=64, cols=16):
+    """Per-core counted loop mirroring the paper's generated inner loop."""
+    b = ProgramBuilder()
+    b.li(1, GLOBAL_BASE)
+    b.li(2, 0)
+    b.li(3, rows * cols)
+    b.emit("MEM_CPY", rs=1, rt=2, rd=3)             # weight tile -> local
+    b.set_sreg(SReg.MVM_ROWS, 10, rows)
+    b.set_sreg(SReg.MVM_COLS, 10, cols)
+    b.li(4, 0)
+    b.li(5, 0)
+    b.emit("CIM_LOAD", rs=4, rt=5)
+    b.set_sreg(SReg.QMUL, 10, 3)
+    b.set_sreg(SReg.QSHIFT, 10, 8)
+    b.li(6, 4096)                                   # input pointer
+    b.li(7, 8192)                                   # accumulator
+    b.li(8, 10000)                                  # output pointer
+    b.li(21, cols)
+    b.li(1, 0)
+    b.li(2, iters)
+    with b.loop(1, 2):
+        b.emit("CIM_MVM", rs=6, rt=5, re=7, flags=0)
+        b.emit("VEC_QNT", rs=7, rd=8, re=21)
+        b.emit("SC_ADDIW", rs=6, rt=6, offset=1)
+        b.emit("SC_ADDIW", rs=8, rt=8, offset=cols)
+    b.halt()
+    return b.finalize()
+
+
+def test_bench_hot_loop_engine_speedup():
+    """Dispatch-bound hot path: the engine must be >= 10x the interpreter."""
+    arch = default_arch()
+    rng = np.random.default_rng(7)
+    image = rng.integers(-128, 128, 64 * 16, dtype=np.int8).view(np.uint8)
+    program = _hot_loop_program()
+    programs = {cid: program for cid in range(arch.chip.num_cores)}
+
+    def make_sim(engine):
+        return ChipSimulator(
+            arch, programs, global_image=image, engine=engine
+        )
+
+    entry = _bench_pair("hot_loop", make_sim)
+    assert entry["speedup"] >= 10.0, (
+        f"hot-block engine regressed to {entry['speedup']:.1f}x on the "
+        f"dispatch-bound loop workload (>= 10x required)"
+    )
+
+
+@pytest.mark.parametrize(
+    "model,input_size",
+    [("resnet18", 64), ("mobilenetv2", 64)],
+)
+def test_bench_model_engine_speedup(model, input_size):
+    """End-to-end compiled models: bit-identical, speedup tracked."""
+    compiled = compile_model(
         model, arch=default_arch(), strategy="generic",
         input_size=input_size, num_classes=100,
+    )
+
+    def make_sim(engine):
+        sim = ChipSimulator.from_compiled(compiled, engine=engine)
+        return sim
+
+    entry = _bench_pair(f"{model}@{input_size}", make_sim)
+    # End-to-end stacks include irreducible NumPy dataflow + NoC
+    # modelling, and wall-clock ratios near 1 are noise-prone on shared
+    # CI runners -- gate only against catastrophic engine regressions;
+    # the magnitude is tracked (non-gating) in BENCH_cyclesim.json.
+    assert entry["speedup"] > 0.3
+
+
+def test_bench_cyclesim_fastmodel_anchor():
+    """Historical anchor: golden-validated run + fast-model agreement."""
+    from repro import run_workflow
+
+    result = run_workflow(
+        "resnet18", arch=default_arch(), strategy="generic",
+        input_size=32, num_classes=100,
     )
     assert result.validated
     fast = analyze_plan(result.compiled.plan)
     ratio = fast.cycles / result.report.cycles
-    return result, fast, ratio
-
-
-def test_bench_cyclesim_resnet18(benchmark):
-    result, fast, ratio = benchmark.pedantic(
-        lambda: _cross_check("resnet18"), rounds=1, iterations=1
-    )
     r = result.report
     print(
         f"\nresnet18@32: cycle-sim {r.cycles:,} cycles / "
         f"{r.total_energy_mj:.3f} mJ / {r.instructions:,} instructions; "
         f"fast model {fast.cycles:,} cycles (ratio {ratio:.2f})"
     )
-    # At 32 px the per-instruction scalar set-up the cycle simulator tracks
-    # dominates (tiny rows), so the row-granular model under-predicts; the
-    # anchor only requires order-of-magnitude agreement here.  At the tiny
-    # scales of tests/test_fastmodel.py agreement is within 0.2-5x.
+    # At small inputs the per-instruction scalar set-up dominates, so the
+    # row-granular fast model under-predicts; the anchor only requires
+    # order-of-magnitude agreement here.
     assert 0.02 < ratio < 20.0
     assert r.macs > 0
     assert r.utilization["cim"] > 0
 
 
-def test_bench_cyclesim_mobilenetv2(benchmark):
-    result, fast, ratio = benchmark.pedantic(
-        lambda: _cross_check("mobilenetv2"), rounds=1, iterations=1
-    )
-    r = result.report
-    print(
-        f"\nmobilenetv2@32: cycle-sim {r.cycles:,} cycles / "
-        f"{r.total_energy_mj:.3f} mJ; fast model {fast.cycles:,} "
-        f"(ratio {ratio:.2f})"
-    )
-    assert 0.02 < ratio < 20.0
+def test_bench_write_results():
+    """Persist BENCH_cyclesim.json (runs last; non-gating artifact)."""
+    if not _RESULTS:
+        pytest.skip("no benchmark results collected")
+    payload = {
+        "benchmark": "cyclesim_engine_vs_interp",
+        "rounds": ROUNDS,
+        "workloads": _RESULTS,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {RESULTS_PATH}")

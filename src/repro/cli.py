@@ -29,7 +29,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import default_arch, load_arch, small_test_arch
 from repro.errors import ReproError
-from repro.explore import SweepSpec, run_sweep, strategy_comparison
+from repro.explore import SweepSpec, run_sweep, spot_check, strategy_comparison
 from repro.explore_cache import ResultCache, default_cache_dir
 from repro.graph.models import available_models
 
@@ -216,8 +216,33 @@ def _cmd_sweep(args) -> int:
     )
     if cache is not None:
         print(f"cache: {cache.root} ({len(cache)} entries)")
+    checks = []
+    if args.spot_check:
+        checks = spot_check(
+            result,
+            n=args.spot_check,
+            input_size=args.spot_input_size,
+            num_classes=min(args.num_classes, 10),
+        )
+        print(
+            f"\ncycle-accurate spot check of the top {len(checks)} "
+            f"point{'s' if len(checks) != 1 else ''} "
+            f"(at {args.spot_input_size} px, bit-exact vs golden model):"
+        )
+        for chk in checks:
+            d = chk.to_dict()
+            print(
+                f"  {d['model']:<16s}{d['strategy']:>6s}  MG={d['mg_size']:<3d}"
+                f"flit={d['flit_bytes']:<3d} cycle-sim {d['cycles']:>12,d}  "
+                f"fast model {d['fast_cycles']:>12,d}  "
+                f"ratio {d['cycle_ratio']:.2f}  "
+                f"{'validated' if d['validated'] else 'UNVALIDATED'}"
+            )
     if args.json:
-        _write_json(result.to_dict(), args.json)
+        payload = result.to_dict()
+        if checks:
+            payload["spot_checks"] = [chk.to_dict() for chk in checks]
+        _write_json(payload, args.json)
         print(f"wrote {args.json}")
     if args.csv:
         _write_csv(rows, args.csv)
@@ -360,6 +385,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"result cache location (default: {default_cache_dir()})")
     sweep.add_argument("--no-cache", action="store_true",
                        help="evaluate every point, bypassing the cache")
+    sweep.add_argument("--spot-check", type=int, default=0, metavar="N",
+                       help="re-run the best N points on the cycle-accurate "
+                            "simulator to bound fast-model error")
+    sweep.add_argument("--spot-input-size", type=int, default=32, metavar="PX",
+                       help="input resolution for --spot-check re-runs "
+                            "(default 32; keep small)")
     sweep.add_argument("--json", metavar="FILE",
                        help="write full results (readable by 'report')")
     sweep.add_argument("--csv", metavar="FILE", help="write results as CSV")

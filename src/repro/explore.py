@@ -62,6 +62,21 @@ from repro.sim.fastmodel import FastReport, analyze_plan
 MG_SIZES = (4, 8, 12, 16)
 FLIT_SIZES = (8, 16)
 
+#: Rough relative evaluation cost of each zoo model (dominated by DP
+#: closure enumeration and per-node lowering at paper resolution),
+#: used only to order sweep work -- never to change results.
+_MODEL_COST = {
+    "vgg19": 8.0,
+    "efficientnetb0": 6.0,
+    "resnet18": 3.0,
+    "mobilenetv2": 2.5,
+    "tiny_mlp": 0.05,
+    "tiny_cnn": 0.08,
+    "tiny_resnet": 0.1,
+}
+
+_STRATEGY_COST = {"generic": 1.0, "duplication": 1.6, "dp": 4.0}
+
 #: Per-model closure limit: a plain int, a {model: limit} map, or None.
 #: Mappings are normalised to sorted (model, limit) tuples inside
 #: :class:`SweepSpec` so specs stay hashable.
@@ -398,6 +413,24 @@ def _worker_evaluate(
     return index, _evaluate_spec(pspec, base_arch)
 
 
+def estimate_point_cost(pspec: PointSpec) -> float:
+    """Relative evaluation-cost estimate of one sweep point.
+
+    Points differ by more than 10x in cost (VGG19 under DP vs tiny
+    models), so submitting expensive points to the worker pool *first*
+    cuts the tail latency of wide sweeps: a worker is never left alone
+    with the most expensive point while the rest of the pool idles.
+    The estimate only orders work -- results are index-ordered and
+    bit-identical regardless.
+    """
+    cost = _MODEL_COST.get(pspec.model, 1.0)
+    cost *= _STRATEGY_COST.get(pspec.strategy, 1.0)
+    cost *= max((pspec.input_size / 224.0) ** 2, 0.05)
+    if pspec.closure_limit is not None and pspec.strategy == "dp":
+        cost *= min(1.0, 0.25 + pspec.closure_limit / 256.0)
+    return cost
+
+
 def _point_from_report(pspec: PointSpec, base: ArchConfig,
                        report: FastReport, cached: bool) -> DesignPoint:
     arch = pspec.resolve_arch(base)
@@ -489,14 +522,115 @@ def run_sweep(
             record(index, pspec, _evaluate_spec(pspec, base))
     else:
         by_index = dict(pending)
+        # Adaptive scheduling: submit expensive points first (stable on
+        # index for determinism); results are re-indexed, so ordering
+        # only affects wall time, never output.
+        ordered = sorted(
+            pending, key=lambda item: (-estimate_point_cost(item[1]), item[0])
+        )
         with ProcessPoolExecutor(max_workers=stats.workers) as pool:
-            jobs = [(index, pspec, base) for index, pspec in pending]
+            jobs = [(index, pspec, base) for index, pspec in ordered]
             for index, point in pool.map(_worker_evaluate, jobs):
                 record(index, by_index[index], point)
 
     stats.wall_time_s = time.perf_counter() - started
     assert all(pt is not None for pt in results)
     return SweepResult(spec=spec, points=results, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Cycle-accurate spot checks
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SpotCheckResult:
+    """One sweep point re-validated on the cycle-accurate simulator.
+
+    The check recompiles the point's (model, architecture, strategy)
+    coordinates at a reduced ``input_size`` (full paper resolution is
+    fast-model territory), runs the exact simulator with bit-exact
+    golden-model validation, and compares the fast model's latency
+    prediction *for the same compiled plan*, bounding the fast-model
+    error at those coordinates.
+    """
+
+    point: DesignPoint
+    input_size: int
+    report: "SimulationReport"
+    fast_cycles: int
+    validated: bool
+
+    @property
+    def cycle_ratio(self) -> float:
+        """fast-model cycles / cycle-accurate cycles (1.0 = perfect)."""
+        return self.fast_cycles / self.report.cycles if self.report.cycles else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.point.model,
+            "strategy": self.point.strategy,
+            "mg_size": self.point.mg_size,
+            "flit_bytes": self.point.flit_bytes,
+            "input_size": self.input_size,
+            "cycles": int(self.report.cycles),
+            "fast_cycles": int(self.fast_cycles),
+            "cycle_ratio": self.cycle_ratio,
+            "energy_mj": self.report.total_energy_mj,
+            "validated": self.validated,
+        }
+
+
+def spot_check(
+    result: SweepResult,
+    n: int = 1,
+    metric: str = "tops",
+    input_size: int = 32,
+    num_classes: int = 10,
+    engine: Optional[str] = None,
+    validate: bool = True,
+) -> List[SpotCheckResult]:
+    """Re-run the best ``n`` points of a sweep cycle-accurately.
+
+    Closes the ROADMAP item "cycle-accurate spot checks inside sweeps":
+    after a fast-model sweep, the most promising points are re-validated
+    on the exact simulator (hot-block engine by default) so every sweep
+    ships with an empirical fast-model error bound.  Exposed on the CLI
+    as ``python -m repro sweep --spot-check N``.
+    """
+    from repro.compiler.pipeline import compile_graph
+    from repro.sim.fastmodel import analyze_plan as analyze
+    from repro.workflow import simulate
+
+    if n <= 0:
+        return []
+    reverse = metric == "tops"
+    if metric not in ("tops", "energy_mj", "cycles"):
+        raise ConfigError(
+            f"unknown metric {metric!r}; expected tops/energy_mj/cycles"
+        )
+    ranked = sorted(
+        result.points, key=lambda p: getattr(p, metric), reverse=reverse
+    )
+    spec = result.spec
+    checks: List[SpotCheckResult] = []
+    for pt in ranked[:n]:
+        arch = with_flit_bytes(
+            with_mg_size(spec.arch(), pt.mg_size), pt.flit_bytes
+        )
+        graph = _cached_graph(pt.model, input_size, num_classes)
+        compiled = compile_graph(
+            graph, arch, pt.strategy, spec.limit_for(pt.model)
+        )
+        outcome = simulate(compiled, validate=validate, engine=engine)
+        fast = analyze(compiled.plan)
+        checks.append(SpotCheckResult(
+            point=pt,
+            input_size=input_size,
+            report=outcome.report,
+            fast_cycles=fast.cycles,
+            validated=outcome.validated,
+        ))
+    return checks
 
 
 # ---------------------------------------------------------------------------

@@ -37,6 +37,26 @@ CACHE_SCHEMA_VERSION = 1
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable capping the cache size in megabytes (least-
+#: recently-used entries are pruned on write once the cap is exceeded).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: Default size cap in megabytes when the variable is unset.
+DEFAULT_CACHE_MAX_MB = 256
+
+#: How many stores may elapse between garbage-collection scans.
+_GC_STORE_INTERVAL = 32
+
+
+def cache_max_bytes() -> int:
+    """Resolve the size cap (0 = unlimited) from the environment."""
+    raw = os.environ.get(CACHE_MAX_MB_ENV, "")
+    try:
+        max_mb = int(raw) if raw else DEFAULT_CACHE_MAX_MB
+    except ValueError:
+        max_mb = DEFAULT_CACHE_MAX_MB
+    return max(0, max_mb) * 1024 * 1024
+
 
 def default_cache_dir() -> Path:
     """Resolve the default cache root (env override, then XDG-style)."""
@@ -84,10 +104,16 @@ class ResultCache:
     can report cache effectiveness (the CLI prints them after each sweep).
     """
 
-    def __init__(self, root: Union[str, Path, None] = None):
+    def __init__(self, root: Union[str, Path, None] = None,
+                 max_bytes: Optional[int] = None):
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: Size cap in bytes; 0 disables pruning.  ``None`` defers to
+        #: ``REPRO_CACHE_MAX_MB`` (default 256 MB).
+        self.max_bytes = cache_max_bytes() if max_bytes is None else max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._stores_since_gc = 0
 
     # -- addressing ---------------------------------------------------------
     def path_for(self, key: str) -> Path:
@@ -108,6 +134,10 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
         self.hits += 1
         return report
 
@@ -142,9 +172,63 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._stores_since_gc += 1
+        if self.max_bytes and self._stores_since_gc >= _GC_STORE_INTERVAL:
+            self.gc()
         return path
 
     # -- maintenance --------------------------------------------------------
+    def gc(self) -> int:
+        """Prune least-recently-used entries down to ``max_bytes``.
+
+        Runs automatically every few stores (lookups refresh an entry's
+        mtime, so recency tracks actual use).  Safe under concurrent
+        writers: a racing unlink is treated as already-evicted.  Returns
+        the number of entries removed.
+        """
+        self._stores_since_gc = 0
+        if not self.max_bytes or not self.root.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return 0
+        removed = 0
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            total -= size
+            removed += 1
+        self.evictions += removed
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total size of all cache entries on disk.
+
+        Tolerates concurrent GC/unlink races (a vanished entry counts 0).
+        """
+        if not self.root.is_dir():
+            return 0
+        total = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     def __len__(self) -> int:
         if not self.root.is_dir():
             return 0

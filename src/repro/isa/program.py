@@ -7,6 +7,8 @@ resolves them into relative instruction offsets (``pc += offset``
 semantics, matching the paper's generated-code example ``JMP -26``).
 """
 
+import hashlib
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from repro.errors import ISAError
@@ -14,6 +16,29 @@ from repro.isa.encoding import encode
 from repro.isa.extension import ISARegistry, default_registry
 from repro.isa.formats import Format, field_width
 from repro.isa.instruction import Instruction
+
+#: Mnemonics that transfer control (loop-block discovery must not cross
+#: these, except for the backward conditional branch that closes a block).
+BRANCH_MNEMONICS = frozenset({"BEQ", "BNE", "BLT", "BGE"})
+CONTROL_MNEMONICS = BRANCH_MNEMONICS | {"JMP", "HALT", "BARRIER"}
+
+
+@dataclass(frozen=True)
+class LoopBlock:
+    """A straight-line loop body discovered in a finalized program.
+
+    ``head`` is the target of the backward conditional branch at
+    ``branch``; instructions ``[head, branch]`` form the block, with no
+    other control transfer inside.  ``span`` is the static instruction
+    count of one iteration.
+    """
+
+    head: int
+    branch: int
+
+    @property
+    def span(self) -> int:
+        return self.branch - self.head + 1
 
 
 class Program:
@@ -24,6 +49,9 @@ class Program:
         self.instructions: List[Instruction] = []
         self.labels: Dict[str, int] = {}
         self._finalized = False
+        self._loop_blocks: Optional[List[LoopBlock]] = None
+        self._words: Optional[List[int]] = None
+        self._digest: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.instructions)
@@ -40,15 +68,21 @@ class Program:
         self.registry.lookup(mnemonic)  # validate early
         instr = Instruction(mnemonic, fields, target)
         self.instructions.append(instr)
-        self._finalized = False
+        self._invalidate()
         return instr
 
     def append(self, instr: Instruction) -> Instruction:
         """Append an already-constructed instruction."""
         self.registry.lookup(instr.mnemonic)
         self.instructions.append(instr)
-        self._finalized = False
+        self._invalidate()
         return instr
+
+    def _invalidate(self) -> None:
+        self._finalized = False
+        self._loop_blocks = None
+        self._words = None
+        self._digest = None
 
     def label(self, name: str) -> str:
         """Define ``name`` at the current position (the next instruction)."""
@@ -103,7 +137,82 @@ class Program:
         """Encode the whole program into 32-bit words."""
         if any(instr.target is not None for instr in self.instructions):
             self.finalize()
-        return [encode(instr, self.registry) for instr in self.instructions]
+        if self._words is None:
+            self._words = [
+                encode(instr, self.registry) for instr in self.instructions
+            ]
+        return self._words
+
+    # -- execution-engine metadata ------------------------------------------
+    def loop_blocks(self) -> List[LoopBlock]:
+        """Straight-line loop bodies closed by backward conditional branches.
+
+        A :class:`LoopBlock` covers ``[head, branch]`` where the
+        instruction at ``branch`` is a conditional branch with a negative
+        resolved offset targeting ``head`` and no instruction strictly
+        inside the span transfers control.  These are the hot-block
+        candidates the vectorized execution engine
+        (:mod:`repro.sim.blockengine`) replays without per-instruction
+        dispatch.  Results are cached until the program is mutated.
+        """
+        if self._loop_blocks is not None:
+            return self._loop_blocks
+        if not self._finalized:
+            self.finalize()
+        blocks: List[LoopBlock] = []
+        mnemonics = [instr.mnemonic for instr in self.instructions]
+        for branch, instr in enumerate(self.instructions):
+            if instr.mnemonic not in BRANCH_MNEMONICS:
+                continue
+            offset = instr.fields.get("offset", 0)
+            if offset >= 0:
+                continue
+            head = branch + offset
+            if head < 0:
+                continue
+            if any(
+                mnemonics[pc] in CONTROL_MNEMONICS
+                for pc in range(head, branch)
+            ):
+                continue
+            blocks.append(LoopBlock(head=head, branch=branch))
+        self._loop_blocks = blocks
+        return blocks
+
+    def _digest_over(self, instructions: List[Instruction]) -> str:
+        parts = []
+        for instr in instructions:
+            fields = ",".join(
+                f"{k}={v}" for k, v in sorted(instr.fields.items())
+            )
+            parts.append(f"{instr.mnemonic}({fields})")
+        return hashlib.sha256(";".join(parts).encode()).hexdigest()
+
+    def content_digest(self) -> str:
+        """Hex SHA-256 over the instruction stream (content address).
+
+        Hashes mnemonics and resolved fields rather than encoded words:
+        immediates produced by ``li`` expansion may exceed the signed
+        encoding range of their field, which is irrelevant to simulation.
+        Cached until the program is mutated.
+        """
+        if self._digest is None:
+            if not self._finalized:
+                self.finalize()
+            self._digest = self._digest_over(self.instructions)
+        return self._digest
+
+    def block_digest(self, block: LoopBlock) -> str:
+        """Content address of one loop block.
+
+        Branch offsets are relative, so structurally identical loop
+        bodies on different cores -- or at different positions in the
+        same program -- share a digest and therefore a cached block
+        analysis.
+        """
+        if not self._finalized:
+            self.finalize()
+        return self._digest_over(self.instructions[block.head:block.branch + 1])
 
     def size_bytes(self) -> int:
         """Program footprint in instruction memory."""

@@ -1,6 +1,12 @@
-"""The CIMFlow cycle-level simulator (Sec. III-D) and golden model."""
+"""The CIMFlow cycle-level simulator (Sec. III-D) and golden model.
 
-from repro.sim.chip import ChipSimulator
+Core execution runs on the hot-block engine
+(:mod:`repro.sim.blockengine`) by default; set ``REPRO_SIM_ENGINE=interp``
+to select the legacy per-instruction interpreter.  Both are bit-identical
+(see ``docs/ARCHITECTURE.md``, "The hot-block execution engine").
+"""
+
+from repro.sim.chip import ChipSimulator, default_engine
 from repro.sim.energy import EnergyAccountant
 from repro.sim.functional import execute_graph, golden_outputs, random_input
 from repro.sim.memory import MemorySystem
@@ -13,6 +19,7 @@ __all__ = [
     "MemorySystem",
     "NoC",
     "EnergyAccountant",
+    "default_engine",
     "execute_graph",
     "golden_outputs",
     "random_input",

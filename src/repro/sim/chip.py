@@ -7,15 +7,26 @@ can be checked against the golden model.  ``SEND`` is buffered (never
 blocks), which makes the dataflow deadlock-free for any DAG schedule; a
 genuine schedule mismatch (lost or misordered message) is detected and
 reported as a :class:`SimulationError` with per-core state.
+
+Scheduling is event-driven: runnable cores sit in a ready queue and are
+executed in core-id order, a ``RECV`` completes when a message is
+*delivered into its channel* (no re-scanning of blocked cores), and
+barrier release is a counter check.  Core execution itself is handled by
+the hot-block engine (:mod:`repro.sim.blockengine`) by default; set
+``REPRO_SIM_ENGINE=interp`` (or pass ``engine="interp"``) to select the
+legacy per-instruction interpreter.  Both engines produce bit-identical
+:class:`SimulationReport` fields and functional outputs -- the
+engine-equivalence tests enforce this.
 """
 
+import os
 from collections import deque
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.config import ArchConfig
-from repro.errors import SimulationError
+from repro.errors import ConfigError, SimulationError
 from repro.isa import ISARegistry, Program, default_registry
 from repro.sim.core import BLOCKED_BARRIER, BLOCKED_RECV, HALTED, RUNNING, Core
 from repro.sim.energy import EnergyAccountant
@@ -23,6 +34,29 @@ from repro.sim.memory import MemorySystem
 from repro.sim.noc import NoC
 from repro.sim.report import SimulationReport
 from repro.utils import ceil_div
+
+#: Environment variable selecting the execution engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+
+_ENGINES = ("block", "interp")
+
+
+def default_engine() -> str:
+    """Resolve the engine choice from ``REPRO_SIM_ENGINE`` (default block).
+
+    An unrecognized value raises :class:`ConfigError` -- the same
+    validation the ``engine=`` keyword gets -- so a typo never silently
+    runs the wrong engine.
+    """
+    engine = os.environ.get(ENGINE_ENV, "").strip().lower()
+    if not engine:
+        return "block"
+    if engine not in _ENGINES:
+        raise ConfigError(
+            f"unknown simulation engine {engine!r} in ${ENGINE_ENV}; "
+            f"expected one of {_ENGINES}"
+        )
+    return engine
 
 
 class ChipSimulator:
@@ -35,11 +69,20 @@ class ChipSimulator:
         registry: Optional[ISARegistry] = None,
         global_image: Optional[np.ndarray] = None,
         extension_handlers: Optional[Dict[str, Callable]] = None,
+        engine: Optional[str] = None,
     ):
         arch.validate()
         self.arch = arch
         self.registry = registry or default_registry()
         self.extension_handlers = extension_handlers or {}
+        if engine is None:
+            engine = default_engine()
+        if engine not in _ENGINES:
+            raise ConfigError(
+                f"unknown simulation engine {engine!r}; expected one of "
+                f"{_ENGINES}"
+            )
+        self.engine = engine
         global_size = len(global_image) if global_image is not None else (
             arch.chip.global_memory.size_bytes
         )
@@ -49,10 +92,21 @@ class ChipSimulator:
         self.noc = NoC(arch)
         self.acct = EnergyAccountant(arch.energy)
         self.channels: Dict[Tuple[int, int], deque] = {}
+        #: (src, dst) -> core blocked on RECV from that channel.
+        self._recv_waiters: Dict[Tuple[int, int], Core] = {}
+        #: Cores unblocked during the current scheduler round.
+        self._ready: List[Core] = []
         self.cores = [
             Core(cid, self, programs.get(cid, _empty_program(self.registry)))
             for cid in range(arch.chip.num_cores)
         ]
+        if engine == "block":
+            from repro.sim.blockengine import block_program_for
+
+            for core in self.cores:
+                core._blockprog = block_program_for(
+                    core.program, self.registry
+                )
 
     @classmethod
     def from_compiled(cls, compiled, **kwargs) -> "ChipSimulator":
@@ -70,6 +124,13 @@ class ChipSimulator:
         if not 0 <= dst < len(self.cores):
             raise SimulationError(f"SEND to nonexistent core {dst}")
         self.channels.setdefault((src, dst), deque()).append((arrival, data))
+        # Event-driven RECV completion: delivery into the channel a core is
+        # blocked on resolves the receive immediately (the receiver runs in
+        # the next scheduler round, preserving core-id execution order).
+        waiter = self._recv_waiters.pop((src, dst), None)
+        if waiter is not None:
+            self._try_complete_recv(waiter)
+            self._ready.append(waiter)
 
     def _try_complete_recv(self, core: Core) -> bool:
         addr, src, nbytes = core._pending_recv
@@ -96,28 +157,41 @@ class ChipSimulator:
 
     # -- main loop ----------------------------------------------------------------
     def run(self, max_rounds: int = 1_000_000) -> SimulationReport:
-        """Run to completion and return the performance report."""
+        """Run to completion and return the performance report.
+
+        Event-driven: each round executes the ready cores in core-id
+        order until they block; cores unblocked during the round (by a
+        message delivery completing their ``RECV``) form the next round.
+        When the ready queue drains, either every active core sits at the
+        barrier (release them) or nothing can make progress (deadlock).
+        """
+        self._ready = []
+        self._recv_waiters.clear()
+        current: List[Core] = [c for c in self.cores if c.state == RUNNING]
         for _ in range(max_rounds):
-            progress = False
-            for core in self.cores:
-                if core.state == RUNNING:
-                    core.run()
-                    progress = True
-            for core in self.cores:
-                if core.state == BLOCKED_RECV and self._try_complete_recv(core):
-                    progress = True
-            waiting = [c for c in self.cores if c.state == BLOCKED_BARRIER]
-            active = [c for c in self.cores if c.state != HALTED]
-            if active and len(waiting) == len(active):
+            if not current:
+                active = [c for c in self.cores if c.state != HALTED]
+                if not active:
+                    return self._finish()
+                waiting = [c for c in active if c.state == BLOCKED_BARRIER]
+                if len(waiting) != len(active):
+                    self._report_deadlock()
                 release = max(c.clock for c in waiting) + 1
                 for core in waiting:
                     core.clock = release
                     core.state = RUNNING
-                progress = True
-            if not active:
-                return self._finish()
-            if not progress:
-                self._report_deadlock()
+                current = waiting
+                continue
+            for core in current:
+                state = core.run()
+                if state == BLOCKED_RECV:
+                    if self._try_complete_recv(core):
+                        self._ready.append(core)
+                    else:
+                        src = core._pending_recv[1]
+                        self._recv_waiters[(src, core.core_id)] = core
+            current = sorted(self._ready, key=lambda c: c.core_id)
+            self._ready = []
         raise SimulationError("simulation exceeded the round limit")
 
     def _report_deadlock(self) -> None:

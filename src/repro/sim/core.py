@@ -15,6 +15,7 @@ stays lean enough to execute the multi-hundred-thousand-instruction
 streams real models compile into.
 """
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -40,8 +41,24 @@ RUNNING, BLOCKED_RECV, BLOCKED_BARRIER, HALTED = range(4)
 _UNITS = ("scalar", "vector", "cim", "mem", "xfer")
 
 
+#: registry -> {program content digest: translated tuples}.  Cores --
+#: and repeated simulations -- running structurally identical programs
+#: share one (immutable) translation instead of re-decoding per core.
+#: Weakly keyed on the registry object so a dropped registry never
+#: leaves stale descriptors behind for an id-reusing successor.
+_TRANSLATE_CACHE: "weakref.WeakKeyDictionary[ISARegistry, Dict[str, list]]" \
+    = weakref.WeakKeyDictionary()
+
+
 def translate_program(program: Program, registry: ISARegistry):
     """Pre-decode a program into flat tuples for the interpreter."""
+    per_registry = _TRANSLATE_CACHE.get(registry)
+    if per_registry is None:
+        per_registry = _TRANSLATE_CACHE.setdefault(registry, {})
+    digest = program.content_digest()
+    cached = per_registry.get(digest)
+    if cached is not None:
+        return cached
     translated = []
     for instr in program.instructions:
         desc = registry.lookup(instr.mnemonic)
@@ -52,6 +69,9 @@ def translate_program(program: Program, registry: ISARegistry):
             f.get("imm", 0), f.get("offset", 0), f.get("funct", 0),
             f.get("flags", 0), desc,
         ))
+    if len(per_registry) > 512:
+        per_registry.clear()
+    per_registry[digest] = translated
     return translated
 
 
@@ -64,6 +84,10 @@ class Core:
         arch = chip.arch
         self.arch = arch
         self.registry = chip.registry
+        self.program = program
+        #: Set by the chip when the hot-block engine is selected
+        #: (see :mod:`repro.sim.blockengine`); None = interpreter.
+        self._blockprog = None
         self.code = translate_program(program, self.registry)
         self.pc = 0
         self.clock = 0
@@ -155,6 +179,10 @@ class Core:
         if self.state == HALTED:
             return HALTED
         self.state = RUNNING
+        if self._blockprog is not None:
+            from repro.sim.blockengine import run_core
+
+            return run_core(self, max_instructions)
         executed = 0
         code = self.code
         dispatch = self._dispatch

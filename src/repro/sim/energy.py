@@ -3,6 +3,17 @@
 Categories match the paper's Fig. 6 breakdown: local memory, compute
 units (CIM + vector + scalar), NoC, plus global memory, instruction
 delivery and static leakage tracked separately.
+
+The accountant accumulates *integer event tallies* (instruction counts,
+bytes moved, MAC counts) and only multiplies them by the per-event energy
+coefficients when :meth:`EnergyAccountant.breakdown` is called.  Integer
+accumulation is exact and associative, so an execution engine that batches
+thousands of events into one tally update (the hot-block engine of
+:mod:`repro.sim.blockengine`) produces *bit-identical* energy numbers to
+the per-instruction interpreter -- the exactness contract the simulator's
+engine equivalence tests rely on.  The only floating-point accumulators
+are the NoC per-message energies and user-extension energies, whose call
+order is identical across engines (neither is ever batched).
 """
 
 from dataclasses import dataclass, field
@@ -10,78 +21,94 @@ from typing import Dict
 
 from repro.config import EnergyConfig
 
-
 @dataclass
 class EnergyAccountant:
-    """Accumulates picojoules per component category."""
+    """Accumulates exact event tallies; converts to picojoules on demand."""
 
     energy: EnergyConfig
-    pj: Dict[str, float] = field(default_factory=lambda: {
-        "cim_compute": 0.0,
-        "cim_write": 0.0,
-        "vector": 0.0,
-        "scalar": 0.0,
-        "local_mem": 0.0,
-        "global_mem": 0.0,
-        "noc": 0.0,
-        "instruction": 0.0,
-        "static": 0.0,
-    })
+    # -- integer event tallies (exact, batchable) --------------------------
+    n_instructions: int = 0
+    n_scalar_ops: int = 0
     macs: int = 0
+    mvm_rows: int = 0
+    mvm_result_bytes: int = 0
+    cim_load_bytes: int = 0
+    vec_elements: int = 0
+    local_bytes_read: int = 0
+    local_bytes_written: int = 0
+    global_bytes: int = 0
+    # -- float accumulators (never batched; call order is engine-invariant)
+    noc_pj_total: float = 0.0
+    static_pj_total: float = 0.0
+    extra_pj: Dict[str, float] = field(default_factory=dict)
 
     def add(self, category: str, amount_pj: float) -> None:
-        self.pj[category] += amount_pj
+        """Direct energy contribution (runtime-extension instructions)."""
+        self.extra_pj[category] = self.extra_pj.get(category, 0.0) + amount_pj
 
-    def instruction(self) -> None:
-        self.pj["instruction"] += self.energy.instruction_pj
+    def instruction(self, count: int = 1) -> None:
+        self.n_instructions += count
 
-    def cim_mvm(self, rows: int, cols: int) -> None:
-        e = self.energy
-        self.macs += rows * cols
-        self.pj["cim_compute"] += (
-            rows * cols * e.cim_mac_pj
-            + rows * e.cim_peripheral_pj_per_mvm_row
-        )
+    def cim_mvm(self, rows: int, cols: int, count: int = 1) -> None:
+        self.macs += rows * cols * count
+        self.mvm_rows += rows * count
+        self.mvm_result_bytes += 4 * cols * count
         # operand fetch / result write-back through the scratchpad
-        self.pj["local_mem"] += (
-            rows * e.local_mem_read_pj_per_byte
-            + 4 * cols * e.local_mem_write_pj_per_byte
-        )
+        self.local_bytes_read += rows * count
+        self.local_bytes_written += 4 * cols * count
 
     def cim_load(self, nbytes: int) -> None:
-        self.pj["cim_write"] += nbytes * self.energy.cim_write_pj_per_byte
-        self.pj["local_mem"] += nbytes * self.energy.local_mem_read_pj_per_byte
+        self.cim_load_bytes += nbytes
+        self.local_bytes_read += nbytes
 
-    def vector_op(self, elements: int, bytes_read: int, bytes_written: int) -> None:
-        e = self.energy
-        self.pj["vector"] += elements * e.vector_op_pj_per_element
-        self.pj["local_mem"] += (
-            bytes_read * e.local_mem_read_pj_per_byte
-            + bytes_written * e.local_mem_write_pj_per_byte
-        )
+    def vector_op(self, elements: int, bytes_read: int, bytes_written: int,
+                  count: int = 1) -> None:
+        self.vec_elements += elements * count
+        self.local_bytes_read += bytes_read * count
+        self.local_bytes_written += bytes_written * count
 
-    def scalar_op(self) -> None:
-        self.pj["scalar"] += self.energy.scalar_op_pj
+    def scalar_op(self, count: int = 1) -> None:
+        self.n_scalar_ops += count
 
-    def local_copy(self, nbytes: int) -> None:
-        e = self.energy
-        self.pj["local_mem"] += nbytes * (
-            e.local_mem_read_pj_per_byte + e.local_mem_write_pj_per_byte
-        )
+    def local_copy(self, nbytes: int, count: int = 1) -> None:
+        self.local_bytes_read += nbytes * count
+        self.local_bytes_written += nbytes * count
 
-    def global_access(self, nbytes: int) -> None:
-        self.pj["global_mem"] += nbytes * self.energy.global_mem_pj_per_byte
+    def global_access(self, nbytes: int, count: int = 1) -> None:
+        self.global_bytes += nbytes * count
 
     def noc_transfer(self, pj: float) -> None:
-        self.pj["noc"] += pj
+        self.noc_pj_total += pj
 
     def static(self, cycles: int, clock_mhz: int) -> None:
-        self.pj["static"] += cycles * self.energy.static_pj_per_cycle(clock_mhz)
+        self.static_pj_total += cycles * self.energy.static_pj_per_cycle(
+            clock_mhz
+        )
 
     @property
     def total_pj(self) -> float:
-        return sum(self.pj.values())
+        return sum(self.breakdown().values())
 
     def breakdown(self) -> Dict[str, float]:
-        """Per-category energy in picojoules (copy)."""
-        return dict(self.pj)
+        """Per-category energy in picojoules (freshly computed)."""
+        e = self.energy
+        pj = {
+            "cim_compute": (
+                self.macs * e.cim_mac_pj
+                + self.mvm_rows * e.cim_peripheral_pj_per_mvm_row
+            ),
+            "cim_write": self.cim_load_bytes * e.cim_write_pj_per_byte,
+            "vector": self.vec_elements * e.vector_op_pj_per_element,
+            "scalar": self.n_scalar_ops * e.scalar_op_pj,
+            "local_mem": (
+                self.local_bytes_read * e.local_mem_read_pj_per_byte
+                + self.local_bytes_written * e.local_mem_write_pj_per_byte
+            ),
+            "global_mem": self.global_bytes * e.global_mem_pj_per_byte,
+            "noc": self.noc_pj_total,
+            "instruction": self.n_instructions * e.instruction_pj,
+            "static": self.static_pj_total,
+        }
+        for category, amount in self.extra_pj.items():
+            pj[category] = pj.get(category, 0.0) + amount
+        return pj

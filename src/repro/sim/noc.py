@@ -29,14 +29,21 @@ class NoC:
         self.total_bytes = 0
         self.total_byte_hops = 0
         self.busy_cycles = 0
+        self._pos_cache: Dict[int, Tuple[int, int]] = {GLOBAL_PORT: (0, 0)}
+        self._route_cache: Dict[Tuple[int, int], List] = {}
 
     def _position(self, node: int) -> Tuple[int, int]:
-        if node == GLOBAL_PORT:
-            return (0, 0)
-        return self.arch.chip.core_position(node)
+        pos = self._pos_cache.get(node)
+        if pos is None:
+            pos = self.arch.chip.core_position(node)
+            self._pos_cache[node] = pos
+        return pos
 
     def route(self, src: int, dst: int) -> List[Tuple[int, int, int, int]]:
-        """Directed links of the XY route (X first, then Y)."""
+        """Directed links of the XY route (X first, then Y); memoised."""
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
         r0, c0 = self._position(src)
         r1, c1 = self._position(dst)
         links = []
@@ -49,6 +56,7 @@ class NoC:
             step = 1 if r1 > r else -1
             links.append((r, c, r + step, c))
             r += step
+        self._route_cache[(src, dst)] = links
         return links
 
     def hops(self, src: int, dst: int) -> int:
@@ -65,11 +73,12 @@ class NoC:
         """
         serialization = ceil_div(max(1, nbytes), self.flit_bytes)
         time = start + self.router_latency
-        for link in self.route(src, dst):
+        route = self.route(src, dst)
+        for link in route:
             free_at = self._link_free.get(link, 0)
             time = max(time, free_at) + self.hop_latency
             self._link_free[link] = time + serialization - 1
-        arrival = time + serialization - 1 if self.route(src, dst) else (
+        arrival = time + serialization - 1 if route else (
             start + self.router_latency + serialization - 1
         )
         hops = self.hops(src, dst)

@@ -86,18 +86,24 @@ def simulate(
     input_data: Optional[np.ndarray] = None,
     validate: bool = True,
     seed: int = 0,
+    engine: Optional[str] = None,
 ) -> WorkflowResult:
     """Simulate a compiled model on the cycle-level simulator.
 
     With ``validate=True`` (the execution-result check of Fig. 2) the
     simulated graph outputs are compared bit-exactly against the golden
     NumPy model; a mismatch raises :class:`ValidationError`.
+
+    ``engine`` selects the execution engine: ``"block"`` (the hot-block
+    engine, default) or ``"interp"`` (the legacy per-instruction
+    interpreter); ``None`` defers to ``REPRO_SIM_ENGINE``.  Both produce
+    bit-identical reports and outputs.
     """
     graph = compiled.graph
     if input_data is None:
         input_data = random_input(graph, seed=seed)
     input_tensor = graph.input_operators[0].output
-    sim = ChipSimulator.from_compiled(compiled)
+    sim = ChipSimulator.from_compiled(compiled, engine=engine)
     sim.memory.write_global(
         compiled.input_address(input_tensor), np.asarray(input_data, np.int8)
     )
@@ -142,8 +148,11 @@ def run_workflow(
     input_data: Optional[np.ndarray] = None,
     validate: bool = True,
     seed: int = 0,
+    engine: Optional[str] = None,
     **model_kwargs,
 ) -> WorkflowResult:
     """The one-call pipeline: build/compile/simulate/validate/report."""
     compiled = compile_model(model, arch, strategy, **model_kwargs)
-    return simulate(compiled, input_data, validate=validate, seed=seed)
+    return simulate(
+        compiled, input_data, validate=validate, seed=seed, engine=engine
+    )

@@ -135,3 +135,24 @@ class TestReportCommand:
     def test_missing_file_is_an_error(self, tmp_path, capsys):
         assert run_cli("report", str(tmp_path / "absent.json")) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestSpotCheckOption:
+    def test_sweep_with_spot_check(self, tmp_path, capsys):
+        out_json = tmp_path / "sweep.json"
+        assert run_cli(
+            "sweep", "--models", "tiny_resnet",
+            "--strategies", "generic,dp",
+            "--input-sizes", "8", "--num-classes", "10",
+            "--preset", "small", "--no-cache", "--quiet",
+            "--spot-check", "1", "--spot-input-size", "8",
+            "--json", str(out_json),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycle-accurate spot check" in out
+        assert "validated" in out
+        payload = json.loads(out_json.read_text())
+        assert len(payload["spot_checks"]) == 1
+        check = payload["spot_checks"][0]
+        assert check["validated"] is True
+        assert check["cycles"] > 0 and check["fast_cycles"] > 0

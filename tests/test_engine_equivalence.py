@@ -1,0 +1,377 @@
+"""Engine equivalence: the hot-block engine vs the legacy interpreter.
+
+The hot-block execution engine (:mod:`repro.sim.blockengine`) promises
+**bit-identical** results to the per-instruction interpreter: the same
+``SimulationReport`` (cycles, energy breakdown, utilization, NoC
+counters, instruction counts) and the same functional outputs / memory
+contents for every workload.  These tests enforce that contract on every
+tier-1 workload class plus the scheduler/engine edge cases (deadlock
+reporting, mis-sized RECV, barrier release ordering, runaway detection,
+extension instructions, batched-loop replay).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import compile_model, simulate
+from repro.config import small_test_arch
+from repro.config.arch import GLOBAL_BASE
+from repro.errors import ConfigError, SimulationError
+from repro.isa import (
+    Category,
+    Format,
+    InstructionDescriptor,
+    ISARegistry,
+    Opcode,
+    ProgramBuilder,
+    SReg,
+)
+from repro.sim.chip import ChipSimulator, default_engine
+
+TINY_MODELS = ("tiny_mlp", "tiny_cnn", "tiny_resnet")
+STRATEGIES = ("generic", "duplication", "dp")
+
+
+def _report_fields(report):
+    return {
+        "cycles": report.cycles,
+        "instructions": report.instructions,
+        "macs": report.macs,
+        "energy_breakdown_pj": report.energy_breakdown_pj,
+        "utilization": report.utilization,
+        "noc_bytes": report.noc_bytes,
+        "noc_byte_hops": report.noc_byte_hops,
+    }
+
+
+def _run_both(programs, arch=None, image=None, registry=None, handlers=None):
+    """Run a hand-written program set on both engines; return the sims."""
+    sims = {}
+    for engine in ("interp", "block"):
+        sim = ChipSimulator(
+            arch or small_test_arch(),
+            programs,
+            registry=registry,
+            global_image=None if image is None else image.copy(),
+            extension_handlers=handlers,
+            engine=engine,
+        )
+        sim.report = sim.run()
+        sims[engine] = sim
+    return sims["interp"], sims["block"]
+
+
+def _assert_equal_state(interp, block):
+    assert _report_fields(interp.report) == _report_fields(block.report)
+    for cid in range(len(interp.cores)):
+        assert np.array_equal(
+            interp.memory.locals[cid], block.memory.locals[cid]
+        ), f"core {cid} local memory diverged"
+        assert interp.cores[cid].regs == block.cores[cid].regs
+        assert interp.cores[cid].clock == block.cores[cid].clock
+    assert np.array_equal(interp.memory.global_mem, block.memory.global_mem)
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("model", TINY_MODELS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_tiny_models_bit_identical(self, model, strategy, arch):
+        compiled = compile_model(model, arch, strategy)
+        a = simulate(compiled, validate=True, engine="interp")
+        b = simulate(compiled, validate=True, engine="block")
+        assert _report_fields(a.report) == _report_fields(b.report)
+        for name in compiled.graph.outputs:
+            assert np.array_equal(a.outputs[name], b.outputs[name])
+
+    @pytest.mark.parametrize(
+        "model,input_size",
+        [("resnet18", 16), ("mobilenetv2", 16)],
+    )
+    def test_paper_models_bit_identical(self, model, input_size, table1_arch):
+        compiled = compile_model(
+            model, table1_arch, "generic",
+            input_size=input_size, num_classes=10,
+        )
+        a = simulate(compiled, validate=True, engine="interp")
+        b = simulate(compiled, validate=True, engine="block")
+        assert _report_fields(a.report) == _report_fields(b.report)
+        for name in compiled.graph.outputs:
+            assert np.array_equal(a.outputs[name], b.outputs[name])
+
+
+class TestHandWrittenPrograms:
+    def test_counted_loop_batched_replay(self):
+        """A long counted loop (exercises the batched NumPy replay)."""
+        rows, cols, iters = 32, 8, 200
+        b = ProgramBuilder()
+        b.li(1, GLOBAL_BASE)
+        b.li(2, 0)
+        b.li(3, rows * cols)
+        b.emit("MEM_CPY", rs=1, rt=2, rd=3)
+        b.set_sreg(SReg.MVM_ROWS, 10, rows)
+        b.set_sreg(SReg.MVM_COLS, 10, cols)
+        b.li(4, 0)
+        b.li(5, 0)
+        b.emit("CIM_LOAD", rs=4, rt=5)
+        b.set_sreg(SReg.QMUL, 10, 3)
+        b.set_sreg(SReg.QSHIFT, 10, 6)
+        b.li(6, 512)      # input pointer (steps by 1)
+        b.li(7, 1024)     # accumulator (fixed)
+        b.li(8, 2048)     # output pointer (steps by cols)
+        b.li(21, cols)
+        b.li(1, 0)
+        b.li(2, iters)
+        with b.loop(1, 2):
+            b.emit("CIM_MVM", rs=6, rt=5, re=7, flags=0)
+            b.emit("CIM_MVM", rs=6, rt=5, re=7, flags=1)
+            b.emit("VEC_QNT", rs=7, rd=8, re=21)
+            b.emit("SC_ADDIW", rs=6, rt=6, offset=1)
+            b.emit("SC_ADDIW", rs=8, rt=8, offset=cols)
+        b.halt()
+        rng = np.random.default_rng(11)
+        image = rng.integers(-128, 128, 4096, dtype=np.int8).view(np.uint8)
+        interp, block = _run_both({0: b.finalize()}, image=image)
+        _assert_equal_state(interp, block)
+
+    def test_accumulation_loop(self):
+        """VEC_ACC32 loop (cumsum-batched) + gather/scatter traffic."""
+        n = 16
+        b = ProgramBuilder()
+        b.li(1, GLOBAL_BASE)
+        b.li(2, 0)
+        b.li(3, 256)
+        b.emit("MEM_CPY", rs=1, rt=2, rd=3)          # input rows -> local
+        b.set_sreg(SReg.FILL_VALUE, 10, 0)
+        b.li(4, 1024)
+        b.li(5, n)
+        b.emit("VEC_FILL", rd=4, re=5, funct=4)      # zero int32 acc
+        b.li(6, 0)       # source pointer
+        b.li(7, n)
+        b.li(1, 0)
+        b.li(2, 12)
+        with b.loop(1, 2):
+            b.emit("VEC_ACC32", rs=6, rd=4, re=7)
+            b.emit("SC_ADDIW", rs=6, rt=6, offset=n)
+        b.set_sreg(SReg.QMUL, 10, 5)
+        b.set_sreg(SReg.QSHIFT, 10, 4)
+        b.li(8, 2048)
+        b.emit("VEC_QNT", rs=4, rd=8, re=7)
+        b.li(9, GLOBAL_BASE + 512)
+        b.emit("MEM_CPY", rs=8, rt=9, rd=7)
+        b.halt()
+        rng = np.random.default_rng(3)
+        image = rng.integers(-128, 128, 1024, dtype=np.int8).view(np.uint8)
+        interp, block = _run_both({0: b.finalize()}, image=image)
+        _assert_equal_state(interp, block)
+
+    def test_accumulator_reset_inside_loop(self):
+        """VEC_FILL resetting the VEC_ACC32 region every iteration.
+
+        Regression test: the cumsum closed form must refuse to batch an
+        accumulator that another op writes (even the identical region),
+        otherwise the running sum survives across iterations that the
+        interpreter resets.
+        """
+        n = 8
+        b = ProgramBuilder()
+        b.li(1, GLOBAL_BASE)
+        b.li(2, 0)
+        b.li(3, 64)
+        b.emit("MEM_CPY", rs=1, rt=2, rd=3)
+        b.set_sreg(SReg.FILL_VALUE, 10, 5)
+        b.li(4, 1024)     # accumulator, reset each iteration
+        b.li(5, n)
+        b.li(6, 0)        # source pointer (steps by n)
+        b.li(1, 0)
+        b.li(2, 40)
+        with b.loop(1, 2):
+            b.emit("VEC_FILL", rd=4, re=5, funct=4)
+            b.emit("VEC_ACC32", rs=6, rd=4, re=5)
+            b.emit("SC_ADDIW", rs=6, rt=6, offset=1)
+        b.halt()
+        rng = np.random.default_rng(5)
+        image = rng.integers(-128, 128, 256, dtype=np.int8).view(np.uint8)
+        interp, block = _run_both({0: b.finalize()}, image=image)
+        _assert_equal_state(interp, block)
+
+    def test_send_recv_barrier_ordering(self):
+        """Producer/consumer chain across three cores with barriers."""
+        nbytes = 24
+        progs = {}
+        for cid in range(3):
+            b = ProgramBuilder()
+            if cid == 0:
+                b.li(1, GLOBAL_BASE)
+                b.li(2, 0)
+                b.li(3, nbytes)
+                b.emit("MEM_CPY", rs=1, rt=2, rd=3)
+            else:
+                b.li(2, 64)
+                b.li(4, cid - 1)
+                b.li(3, nbytes)
+                b.emit("RECV", rs=2, rt=4, rd=3)
+            if cid < 2:
+                b.li(5, cid + 1)
+                b.li(6, 0 if cid == 0 else 64)
+                b.li(3, nbytes)
+                b.emit("SEND", rs=6, rt=5, rd=3)
+            b.emit("BARRIER")
+            if cid == 2:
+                b.li(7, GLOBAL_BASE + 256)
+                b.li(2, 64)
+                b.li(3, nbytes)
+                b.emit("MEM_CPY", rs=2, rt=7, rd=3)
+            b.halt()
+            progs[cid] = b.finalize()
+        payload = np.arange(nbytes, dtype=np.uint8)
+        image = np.concatenate([payload, np.zeros(512, np.uint8)])
+        interp, block = _run_both(progs, image=image)
+        _assert_equal_state(interp, block)
+        out = block.memory.read_global(GLOBAL_BASE + 256, nbytes)
+        assert np.array_equal(out.view(np.uint8), payload)
+
+    def test_extension_instructions_equivalent(self):
+        """Extension opcodes fall back to handler dispatch in the engine."""
+        registry = ISARegistry()
+        registry.register(InstructionDescriptor(
+            mnemonic="VEC_NEG",
+            opcode=int(Opcode.EXT0),
+            category=Category.VECTOR,
+            fmt=Format.VEC,
+            operands=("rs", "rd", "re"),
+            latency=4,
+            energy_pj=2.0,
+        ))
+
+        def neg_handler(core, t):
+            n = core.regs[t[4]]
+            data = core.chip.memory.read(core.core_id, core.regs[t[1]], n)
+            core.chip.memory.write(core.core_id, core.regs[t[3]], -data)
+
+        b = ProgramBuilder(registry)
+        b.li(1, GLOBAL_BASE)
+        b.li(2, 0)
+        b.li(3, 8)
+        b.emit("MEM_CPY", rs=1, rt=2, rd=3)
+        b.li(4, 64)
+        b.emit("VEC_NEG", rs=2, rd=4, re=3)
+        b.li(5, GLOBAL_BASE + 64)
+        b.emit("MEM_CPY", rs=4, rt=5, rd=3)
+        b.halt()
+        image = np.arange(1, 9, dtype=np.int8).view(np.uint8)
+        image = np.concatenate([image, np.zeros(128, np.uint8)])
+        interp, block = _run_both(
+            {0: b.finalize()}, image=image,
+            registry=registry, handlers={"VEC_NEG": neg_handler},
+        )
+        _assert_equal_state(interp, block)
+        out = block.memory.read_global(GLOBAL_BASE + 64, 8)
+        assert list(out) == [-1, -2, -3, -4, -5, -6, -7, -8]
+
+
+class TestEdgeCases:
+    def _lonely_recv(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.li(2, 1)
+        b.li(3, 4)
+        b.emit("RECV", rs=1, rt=2, rd=3)
+        b.halt()
+        return b.finalize()
+
+    @pytest.mark.parametrize("engine", ("interp", "block"))
+    def test_deadlock_reported(self, engine):
+        sim = ChipSimulator(
+            small_test_arch(), {0: self._lonely_recv()}, engine=engine
+        )
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    @pytest.mark.parametrize("engine", ("interp", "block"))
+    def test_recv_size_mismatch_detected(self, engine):
+        sender = ProgramBuilder()
+        sender.li(1, 0)
+        sender.li(2, 1)
+        sender.li(3, 8)
+        sender.emit("SEND", rs=1, rt=2, rd=3)
+        sender.halt()
+        receiver = ProgramBuilder()
+        receiver.li(1, 0)
+        receiver.li(2, 0)
+        receiver.li(3, 4)  # expects 4, message has 8
+        receiver.emit("RECV", rs=1, rt=2, rd=3)
+        receiver.halt()
+        sim = ChipSimulator(
+            small_test_arch(),
+            {0: sender.finalize(), 1: receiver.finalize()},
+            engine=engine,
+        )
+        with pytest.raises(SimulationError, match="RECV expects"):
+            sim.run()
+
+    @pytest.mark.parametrize("engine", ("interp", "block"))
+    def test_runaway_detection(self, engine):
+        b = ProgramBuilder()
+        b.program.label("spin")
+        b.emit("JMP", target="spin")
+        b.halt()
+        sim = ChipSimulator(
+            small_test_arch(), {0: b.finalize()}, engine=engine
+        )
+        with pytest.raises(SimulationError, match="runaway"):
+            sim.cores[0].run(max_instructions=1000)
+
+    def test_barrier_release_clocks_match(self):
+        fast = ProgramBuilder()
+        fast.emit("BARRIER")
+        fast.emit("NOP")
+        fast.halt()
+        slow = ProgramBuilder()
+        for _ in range(40):
+            slow.emit("NOP")
+        slow.emit("BARRIER")
+        slow.emit("NOP")
+        slow.halt()
+        interp, block = _run_both(
+            {0: fast.finalize(), 1: slow.finalize()}
+        )
+        _assert_equal_state(interp, block)
+
+
+class TestEngineSelection:
+    def test_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_ENGINE", raising=False)
+        assert default_engine() == "block"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "interp")
+        assert default_engine() == "interp"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "bogus")
+        with pytest.raises(ConfigError, match="unknown simulation engine"):
+            default_engine()
+
+    def test_env_selects_interpreter(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "interp")
+        sim = ChipSimulator(small_test_arch(), {})
+        assert sim.engine == "interp"
+        assert all(core._blockprog is None for core in sim.cores)
+
+    def test_block_engine_installs_tables(self):
+        sim = ChipSimulator(small_test_arch(), {}, engine="block")
+        assert sim.engine == "block"
+        assert all(core._blockprog is not None for core in sim.cores)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown simulation engine"):
+            ChipSimulator(small_test_arch(), {}, engine="turbo")
+
+    def test_block_programs_shared_across_cores(self):
+        b = ProgramBuilder()
+        for _ in range(4):
+            b.emit("NOP")
+        b.halt()
+        program = b.finalize()
+        sim = ChipSimulator(
+            small_test_arch(), {0: program, 1: program}, engine="block"
+        )
+        assert sim.cores[0]._blockprog is sim.cores[1]._blockprog

@@ -279,3 +279,127 @@ class TestPointSpec:
         assert pspec.cache_key(base) == point_key(
             "tiny_cnn", pspec.resolve_arch(base), "dp", 8, 10, None
         )
+
+
+class TestAdaptiveScheduling:
+    def test_cost_estimate_orders_heavy_points_first(self):
+        from repro.explore import estimate_point_cost
+
+        heavy = PointSpec(model="vgg19", strategy="dp",
+                          input_size=224, num_classes=1000)
+        light = PointSpec(model="tiny_mlp", strategy="generic",
+                          input_size=8, num_classes=10)
+        assert estimate_point_cost(heavy) > 10 * estimate_point_cost(light)
+
+    def test_closure_limit_discounts_dp_cost(self):
+        from repro.explore import estimate_point_cost
+
+        capped = PointSpec(model="efficientnetb0", strategy="dp",
+                           input_size=224, num_classes=1000,
+                           closure_limit=64)
+        uncapped = PointSpec(model="efficientnetb0", strategy="dp",
+                             input_size=224, num_classes=1000)
+        assert estimate_point_cost(capped) < estimate_point_cost(uncapped)
+
+    def test_parallel_results_identical_despite_reordering(self):
+        spec = tiny_spec()
+        serial = run_sweep(spec, workers=1)
+        parallel = run_sweep(spec, workers=2)
+        assert [p.to_dict() for p in serial] == [
+            p.to_dict() for p in parallel
+        ]
+
+
+class TestCacheGC:
+    def _fill(self, cache, report, n):
+        for i in range(n):
+            cache.store(f"{i:04x}" + "0" * 60, report)
+
+    def test_lru_prune_on_write(self, tmp_path):
+        report = evaluate_fast(
+            "tiny_mlp", small_test_arch(), "generic",
+            input_size=8, num_classes=10,
+        ).report
+        cache = ResultCache(tmp_path, max_bytes=4096)
+        self._fill(cache, report, 64)
+        assert cache.size_bytes() <= 4096
+        assert cache.evictions > 0
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        import os
+        import time
+
+        report = evaluate_fast(
+            "tiny_mlp", small_test_arch(), "generic",
+            input_size=8, num_classes=10,
+        ).report
+        cache = ResultCache(tmp_path, max_bytes=0)  # no pruning yet
+        keys = [f"{i:04x}" + "0" * 60 for i in range(6)]
+        for key in keys:
+            cache.store(key, report)
+        # age everything, then touch the first entry via lookup
+        past = time.time() - 3600
+        for key in keys:
+            os.utime(cache.path_for(key), (past, past))
+        assert cache.lookup(keys[0]) is not None
+        entry = cache.path_for(keys[0]).stat().st_size
+        cache.max_bytes = 3 * entry
+        removed = cache.gc()
+        assert removed > 0
+        assert cache.lookup(keys[0]) is not None      # recently used survives
+        assert cache.lookup(keys[1]) is None          # oldest went first
+
+    def test_zero_cap_disables_gc(self, tmp_path):
+        report = evaluate_fast(
+            "tiny_mlp", small_test_arch(), "generic",
+            input_size=8, num_classes=10,
+        ).report
+        cache = ResultCache(tmp_path, max_bytes=0)
+        self._fill(cache, report, 40)
+        assert len(cache) == 40
+        assert cache.gc() == 0
+
+    def test_env_default_cap(self, monkeypatch, tmp_path):
+        from repro.explore_cache import cache_max_bytes
+
+        monkeypatch.delenv("REPRO_CACHE_MAX_MB", raising=False)
+        assert cache_max_bytes() == 256 * 1024 * 1024
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
+        assert ResultCache(tmp_path).max_bytes == 1024 * 1024
+
+
+class TestSpotCheck:
+    def test_best_points_revalidated_cycle_accurately(self):
+        from repro.explore import spot_check
+
+        spec = tiny_spec(models=("tiny_resnet",), flit_sizes=(8,))
+        result = run_sweep(spec)
+        checks = spot_check(result, n=2, input_size=8, num_classes=10)
+        assert len(checks) == 2
+        best = result.best("tops")
+        assert checks[0].point.to_dict() == best.to_dict()
+        for chk in checks:
+            assert chk.validated
+            assert chk.report.cycles > 0
+            assert chk.fast_cycles > 0
+            assert chk.cycle_ratio > 0
+            payload = chk.to_dict()
+            assert payload["model"] == "tiny_resnet"
+            assert payload["input_size"] == 8
+
+    def test_zero_n_is_noop(self):
+        from repro.explore import spot_check
+
+        spec = tiny_spec(models=("tiny_cnn",), strategies=("generic",),
+                         flit_sizes=(8,))
+        result = run_sweep(spec)
+        assert spot_check(result, n=0) == []
+
+    def test_unknown_metric_rejected(self):
+        from repro.explore import spot_check
+
+        spec = tiny_spec(models=("tiny_cnn",), strategies=("generic",),
+                         flit_sizes=(8,))
+        result = run_sweep(spec)
+        with pytest.raises(ConfigError):
+            spot_check(result, n=1, metric="watts")

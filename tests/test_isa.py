@@ -241,3 +241,57 @@ class TestExtensions:
         registry = ISARegistry()
         free = registry.free_extension_opcodes()
         assert len(free) == 4
+
+
+class TestBlockMetadata:
+    """Loop-block discovery and content addressing (execution-engine
+    metadata consumed by repro.sim.blockengine)."""
+
+    def _counted_loop(self, body_nops=3, pre_nops=0):
+        b = ProgramBuilder()
+        for _ in range(pre_nops):
+            b.emit("NOP")
+        b.li(1, 0)
+        b.li(2, 10)
+        with b.loop(1, 2):
+            for _ in range(body_nops):
+                b.emit("NOP")
+        b.halt()
+        return b.finalize()
+
+    def test_loop_blocks_found(self):
+        program = self._counted_loop()
+        blocks = program.loop_blocks()
+        assert len(blocks) == 1
+        block = blocks[0]
+        assert program[block.branch].mnemonic == "BLT"
+        assert program[block.branch].fields["offset"] == -block.span + 1
+        assert block.span == 3 + 2  # body NOPs + SC_ADDI + BLT
+
+    def test_control_flow_inside_span_disqualifies(self):
+        b = ProgramBuilder()
+        b.li(1, 0)
+        b.li(2, 4)
+        head = b.program.new_label("head")
+        b.program.place_label(head)
+        b.emit("NOP")
+        b.emit("BARRIER")           # control transfer inside the span
+        b.emit("SC_ADDI", rs=1, rt=1, imm=1)
+        b.emit("BLT", rs=1, rt=2, target=head)
+        b.halt()
+        assert b.finalize().loop_blocks() == []
+
+    def test_block_digest_position_independent(self):
+        a = self._counted_loop(pre_nops=0)
+        c = self._counted_loop(pre_nops=5)
+        da = a.block_digest(a.loop_blocks()[0])
+        dc = c.block_digest(c.loop_blocks()[0])
+        assert da == dc
+        assert a.content_digest() != c.content_digest()
+
+    def test_digests_invalidate_on_mutation(self):
+        program = self._counted_loop()
+        before = program.content_digest()
+        program.emit("NOP")
+        program.finalize()
+        assert program.content_digest() != before
