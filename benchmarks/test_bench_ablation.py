@@ -1,4 +1,4 @@
-"""Ablations of the design choices DESIGN.md calls out.
+"""Ablations of the compiler's central design choices (Algorithm 1).
 
 1. Dependency-closure enumeration vs prefix-only fallback: the full
    closure set can only improve (never worsen) the DP objective.

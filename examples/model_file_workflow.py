@@ -1,9 +1,10 @@
 """File-based workflow: model description in, evaluation report out.
 
 Mirrors the paper's Fig. 2 interface: a DNN model description file (our
-ONNX-like JSON, DESIGN.md substitution #3) plus an architecture
-configuration file go in; compilation, cycle-accurate simulation,
-functional validation and a detailed report come out.
+ONNX-like JSON, standing in for the trained ONNX models the paper
+consumes) plus an architecture configuration file go in; compilation,
+cycle-accurate simulation, functional validation and a detailed report
+come out.
 
 Run:  python examples/model_file_workflow.py
 """

@@ -39,7 +39,13 @@ from repro.errors import (
     SimulationError,
     ValidationError,
 )
-from repro.config import ArchConfig, EnergyConfig, default_arch
+from repro.config import ArchConfig, EnergyConfig, InterChipConfig, default_arch
+from repro.compiler import (
+    MultiChipModel,
+    ShardingSpec,
+    compile_sharded,
+    shard_graph,
+)
 from repro.explore import (
     DesignPoint,
     SweepResult,
@@ -51,7 +57,8 @@ from repro.explore import (
     strategy_comparison,
 )
 from repro.explore_cache import ResultCache
-from repro.sim.fastmodel import FastReport, analyze_plan
+from repro.sim.fastmodel import FastReport, analyze_plan, analyze_sharded
+from repro.sim.multichip import MultiChipReport, MultiChipSimulator
 from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
 
 __version__ = "0.1.0"
@@ -59,8 +66,16 @@ __version__ = "0.1.0"
 __all__ = [
     "ArchConfig",
     "EnergyConfig",
+    "InterChipConfig",
     "default_arch",
     "compile_model",
+    "compile_sharded",
+    "shard_graph",
+    "ShardingSpec",
+    "MultiChipModel",
+    "MultiChipSimulator",
+    "MultiChipReport",
+    "analyze_sharded",
     "simulate",
     "run_workflow",
     "WorkflowResult",

@@ -5,19 +5,24 @@ exploration engine without writing any Python:
 
 - ``run``     -- compile one model and execute it on the cycle-accurate
   simulator, validating against the golden model (Fig. 2 workflow);
+  ``--chips N`` pipeline-shards the model across N chips;
 - ``sweep``   -- evaluate a cross-product design space with the fast
-  analytical model, in parallel and through the on-disk result cache;
+  analytical model, in parallel and through the on-disk result cache
+  (``--chips`` adds the multi-chip axis);
 - ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
   per compilation strategy);
-- ``report``  -- re-render / convert a saved ``sweep --json`` file.
+- ``report``  -- re-render / convert a saved ``sweep --json`` file
+  (``--pareto`` extracts the energy/throughput Pareto front).
 
 Examples::
 
-    python -m repro run tiny_resnet --preset small
+    python -m repro run tiny_resnet --preset small --chips 2
     python -m repro sweep --models resnet18 --strategies generic,dp \\
         --mg-sizes 4,8,12,16 --flit-sizes 8,16 --workers 4 --json out.json
     python -m repro compare --models resnet18,mobilenetv2
-    python -m repro report out.json --best tops --csv out.csv
+    python -m repro report out.json --best tops --pareto --csv out.csv
+
+The full flag/environment-variable reference lives in ``docs/CLI.md``.
 """
 
 import argparse
@@ -36,7 +41,7 @@ from repro.graph.models import available_models
 _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
-    "model", "strategy", "input_size", "mg_size", "flit_bytes",
+    "model", "strategy", "input_size", "chips", "mg_size", "flit_bytes",
     "cycles", "time_ms", "energy_mj", "tops", "cached",
 )
 
@@ -100,13 +105,15 @@ def _add_arch_options(parser: argparse.ArgumentParser) -> None:
 
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
     header = (
-        f"{'model':<16s}{'strat':>7s}{'in':>5s}{'MG':>4s}{'flit':>6s}"
+        f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'MG':>4s}"
+        f"{'flit':>6s}"
         f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}{'cache':>7s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
+            f"{row.get('chips', 1):>6d}"
             f"{row['mg_size']:>4d}{row['flit_bytes']:>6d}"
             f"{row['cycles']:>12,d}{row['time_ms']:>9.2f}"
             f"{row['energy_mj']:>9.2f}{row['tops']:>8.2f}"
@@ -120,7 +127,10 @@ def _write_csv(rows: Sequence[Dict[str, Any]], path: str) -> None:
         writer = csv.DictWriter(fh, fieldnames=_POINT_COLUMNS)
         writer.writeheader()
         for row in rows:
-            writer.writerow({col: row[col] for col in _POINT_COLUMNS})
+            writer.writerow(
+                {col: row.get("chips", 1) if col == "chips" else row[col]
+                 for col in _POINT_COLUMNS}
+            )
 
 
 def _write_json(payload: Dict[str, Any], path: str) -> None:
@@ -140,6 +150,7 @@ def _cmd_run(args) -> int:
         strategy=args.strategy,
         validate=not args.no_validate,
         seed=args.seed,
+        chips=args.chips,
         input_size=args.input_size,
         num_classes=args.num_classes,
     )
@@ -155,6 +166,7 @@ def _cmd_run(args) -> int:
                 "strategy": args.strategy,
                 "input_size": args.input_size,
                 "num_classes": args.num_classes,
+                "chips": args.chips,
                 "validated": result.validated,
                 "report": result.report.to_dict(),
             },
@@ -178,7 +190,8 @@ def _progress_printer(quiet: bool):
         tag = "cache hit" if point.cached else "evaluated"
         print(
             f"[{done:>3d}/{total}] {point.model:<16s}{point.strategy:>12s}"
-            f"  MG={point.mg_size:<3d}flit={point.flit_bytes:<3d}"
+            f"  chips={point.chips:<2d}MG={point.mg_size:<3d}"
+            f"flit={point.flit_bytes:<3d}"
             f" TOPS={point.tops:6.2f}  ({tag})",
             flush=True,
         )
@@ -196,6 +209,7 @@ def _cmd_sweep(args) -> int:
         num_classes=args.num_classes,
         base_arch=_resolve_arch(args),
         closure_limit=args.closure_limit,
+        chip_counts=tuple(args.chips),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -291,6 +305,18 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _pareto_rows(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Non-dominated (energy_mj minimised, tops maximised) rows.
+
+    The same :func:`repro.explore.pareto_filter` backing
+    :meth:`SweepResult.pareto_front`, applied to the JSON row
+    dictionaries a saved sweep file carries.
+    """
+    from repro.explore import pareto_filter
+
+    return pareto_filter(list(rows), lambda r: (r["energy_mj"], r["tops"]))
+
+
 def _cmd_report(args) -> int:
     try:
         payload = json.loads(Path(args.results).read_text())
@@ -317,6 +343,13 @@ def _cmd_report(args) -> int:
     ranked = sorted(rows, key=lambda r: r[args.best], reverse=reverse)
     print(f"\ntop {min(args.top, len(ranked))} by {args.best}:")
     print(_format_table(ranked[: args.top]))
+    if args.pareto:
+        front = _pareto_rows(rows)
+        print(
+            f"\nenergy/throughput Pareto front "
+            f"({len(front)}/{len(rows)} points non-dominated):"
+        )
+        print(_format_table(front))
     if args.csv:
         _write_csv(rows, args.csv)
         print(f"wrote {args.csv}")
@@ -346,6 +379,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_arch_options(run)
     run.add_argument("--strategy", default="dp",
                      choices=("generic", "duplication", "dp"))
+    run.add_argument("--chips", type=int, default=1, metavar="N",
+                     help="pipeline-shard the model across N identical "
+                          "chips (default 1: single chip)")
     run.add_argument("--input-size", type=int, default=32,
                      help="input resolution (cycle sim; keep small)")
     run.add_argument("--num-classes", type=int, default=10)
@@ -373,6 +409,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="NoC flit widths to sweep (default: base arch)")
     sweep.add_argument("--input-sizes", type=_int_list, default=[224],
                        metavar="N[,N...]")
+    sweep.add_argument("--chips", type=_int_list, default=[1],
+                       metavar="N[,N...]",
+                       help="chip counts to sweep (multi-chip pipeline "
+                            "sharding; default: single chip)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",
@@ -429,6 +469,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="metric for the ranked summary")
     report.add_argument("--top", type=int, default=5,
                         help="how many top points to list")
+    report.add_argument("--pareto", action="store_true",
+                        help="list the energy/throughput Pareto front "
+                             "(non-dominated energy_mj vs tops points)")
     report.add_argument("--csv", metavar="FILE", help="convert points to CSV")
     report.set_defaults(func=_cmd_report)
 

@@ -6,12 +6,22 @@ from repro.compiler.frontend import CondensedGraph, CondensedNode, condense
 from repro.compiler.geometry import NodeGeometry, WeightTile, build_geometry
 from repro.compiler.mapping import optimal_mapping
 from repro.compiler.partition import (
+    GraphShard,
     PartitionResult,
+    ShardingPlan,
+    ShardingSpec,
     StageDecision,
     dp_partition,
     greedy_partition,
+    shard_graph,
 )
-from repro.compiler.pipeline import CompiledModel, compile_graph
+from repro.compiler.pipeline import (
+    CompiledModel,
+    InterChipTransfer,
+    MultiChipModel,
+    compile_graph,
+    compile_sharded,
+)
 from repro.compiler.plan import ExecutionPlan, GLOBAL_BASE, StagePlan
 from repro.compiler.strategies import (
     STRATEGIES,
@@ -43,4 +53,11 @@ __all__ = [
     "GLOBAL_BASE",
     "compile_graph",
     "CompiledModel",
+    "shard_graph",
+    "ShardingSpec",
+    "ShardingPlan",
+    "GraphShard",
+    "compile_sharded",
+    "MultiChipModel",
+    "InterChipTransfer",
 ]

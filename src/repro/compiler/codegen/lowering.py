@@ -35,7 +35,7 @@ from repro.compiler.plan import ExecutionPlan, NodeMapping, StagePlan
 from repro.graph.ops import OpKind, Operator
 from repro.isa import ISARegistry, Program, ProgramBuilder, SReg, default_registry
 
-# --- fixed register conventions (documented in DESIGN.md) -------------------
+# --- fixed register conventions shared by every emitted program -------------
 R_ZERO = 0
 R_XCNT, R_XBND = 1, 2
 R_KR0 = 3            # R3..R9: up to 7 per-kernel-row source pointers

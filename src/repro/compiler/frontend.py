@@ -160,8 +160,12 @@ class CondensedGraph:
         """Fuse an elementwise op into the node producing one of its inputs.
 
         Fusion requires the candidate node's current output to feed *only*
-        this operator, so fusing cannot steal a tensor other consumers need.
+        this operator, so fusing cannot steal a tensor other consumers need
+        -- including the graph's marked outputs, which must stay
+        materialised even when a single operator consumes them (sharded
+        subgraphs spill them across the chip boundary).
         """
+        marked = {self.resolve(t) for t in self.graph.outputs}
         for position, tensor in enumerate(op.inputs):
             resolved = self.resolve(tensor)
             index = self.producer_index.get(resolved)
@@ -172,6 +176,8 @@ class CondensedGraph:
                 continue  # an epilogue was already appended past this tensor
             if self._consumer_count(resolved) != 1:
                 continue
+            if resolved in marked:
+                continue  # fusing would swallow a marked graph output
             residual: Optional[str] = None
             if op.kind is OpKind.ADD:
                 # The non-fused input must come from this node's past so

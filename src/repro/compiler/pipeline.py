@@ -6,12 +6,17 @@ core and row assignment, global-memory layout, and OP-level code
 generation, returning a :class:`CompiledModel` ready for simulation.
 ``plan_graph`` stops after the CG level, returning the
 :class:`ExecutionPlan` that wide design-space sweeps evaluate with the
-fast model.  See ``docs/ARCHITECTURE.md`` ("Two-level compilation") for
-the flow in detail.
+fast model.  ``compile_sharded`` is the multi-chip driver: it
+pipeline-shards the graph (:func:`repro.compiler.partition.shard_graph`),
+compiles every shard with the unchanged single-chip flow, and emits the
+explicit :class:`InterChipTransfer` schedule the multi-chip scheduler
+(:mod:`repro.sim.multichip`) executes.  See ``docs/ARCHITECTURE.md``
+("Two-level compilation" and "Multi-chip sharding") for the flow in
+detail.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -20,6 +25,7 @@ from repro.errors import CompileError
 from repro.compiler.codegen.lowering import ProgramGenerator, build_global_image
 from repro.compiler.cost import CostModel
 from repro.compiler.frontend import CondensedGraph, condense
+from repro.compiler.partition import ShardingPlan, shard_graph
 from repro.compiler.plan import (
     ExecutionPlan,
     GLOBAL_BASE,
@@ -149,4 +155,160 @@ def compile_graph(
         programs=programs,
         global_image=image,
         registry=registry or default_registry(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Multi-chip compilation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InterChipTransfer:
+    """One explicit inter-chip transfer instruction.
+
+    The compiler/simulator contract (documented in
+    ``docs/ARCHITECTURE.md``, "Multi-chip sharding"): after chip
+    ``src_chip`` finishes its shard, ``nbytes`` of tensor ``tensor`` are
+    moved from ``src_address`` in the source chip's global memory to
+    ``dst_address`` in the destination chip's global memory over the
+    :class:`~repro.config.InterChipConfig` link.  Transfers are listed
+    in deterministic (src_chip, dst_chip, tensor) order; all transfers
+    out of a chip depart when that chip's shard completes, and a chip
+    starts only after all its inbound transfers have arrived.
+    """
+
+    src_chip: int
+    dst_chip: int
+    tensor: str
+    src_address: int
+    dst_address: int
+    nbytes: int
+
+
+@dataclass
+class MultiChipModel:
+    """The multi-chip compiler product: per-chip programs + transfers.
+
+    Each entry of ``chips`` is a complete single-chip
+    :class:`CompiledModel` for one shard; ``transfers`` is the explicit
+    inter-chip transfer schedule between them.
+    """
+
+    sharding: ShardingPlan
+    arch: ArchConfig
+    chips: List[CompiledModel]
+    transfers: List[InterChipTransfer]
+
+    @property
+    def graph(self) -> ComputationGraph:
+        """The original (unsharded) model graph."""
+        return self.sharding.graph
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chips)
+
+    def input_placements(
+        self, tensor: Optional[str] = None
+    ) -> List[Tuple[int, int]]:
+        """(chip, global address) pairs a model input must be written to."""
+        inputs = self.graph.input_operators
+        if tensor is None:
+            if len(inputs) != 1:
+                raise CompileError("model has multiple inputs; name one")
+            tensor = inputs[0].output
+        placements = []
+        for shard, compiled in zip(self.sharding.shards, self.chips):
+            if tensor in shard.external_inputs:
+                placements.append(
+                    (shard.index, compiled.plan.tensor_address[tensor])
+                )
+        if not placements:
+            raise CompileError(f"no shard consumes model input {tensor!r}")
+        return placements
+
+    def output_placement(self, tensor: Optional[str] = None) -> Tuple[int, int]:
+        """(chip, global address) where a model output materialises."""
+        if tensor is None:
+            if len(self.graph.outputs) != 1:
+                raise CompileError("model has multiple outputs; name one")
+            tensor = self.graph.outputs[0]
+        resolved = self.sharding.cgraph.resolve(tensor)
+        for shard, compiled in zip(self.sharding.shards, self.chips):
+            if resolved in shard.final_outputs:
+                return shard.index, compiled.plan.tensor_address[resolved]
+        raise CompileError(f"no shard produces model output {tensor!r}")
+
+    def total_instructions(self) -> int:
+        return sum(c.total_instructions() for c in self.chips)
+
+    def interchip_bytes(self) -> int:
+        return sum(t.nbytes for t in self.transfers)
+
+    def summary(self) -> str:
+        lines = [self.sharding.summary()]
+        for chip, compiled in enumerate(self.chips):
+            lines.append(f"chip {chip}: {compiled.summary()}")
+        lines.append(
+            f"  {len(self.transfers)} inter-chip transfers, "
+            f"{self.interchip_bytes() / 1024:.1f} KiB over the link"
+        )
+        return "\n".join(lines)
+
+
+def compile_sharded(
+    graph: ComputationGraph,
+    arch: ArchConfig,
+    num_chips: int,
+    strategy: str = "dp",
+    registry: Optional[ISARegistry] = None,
+    closure_limit: Optional[int] = None,
+    cuts: Optional[Tuple[int, ...]] = None,
+) -> MultiChipModel:
+    """Compile one model for a pipeline of ``num_chips`` identical chips.
+
+    The graph is sharded at layer cuts of its condensed linearization
+    (balanced by weight bytes unless ``cuts`` pins them), each shard is
+    compiled with the unchanged single-chip flow against ``arch``, and
+    every boundary tensor becomes an explicit :class:`InterChipTransfer`
+    from its producer's spill address to its consumer's input address.
+    Per-shard capacity/closure checks are the single-chip compiler's
+    own; a shard that cannot map raises :class:`CompileError` naming the
+    chip.
+    """
+    plan = shard_graph(graph, num_chips, cuts=cuts)
+    chips: List[CompiledModel] = []
+    for shard in plan.shards:
+        try:
+            chips.append(
+                compile_graph(
+                    shard.graph, arch, strategy,
+                    registry=registry, closure_limit=closure_limit,
+                )
+            )
+        except CompileError as exc:
+            raise CompileError(
+                f"chip {shard.index} (condensed nodes "
+                f"{shard.node_indices[0]}..{shard.node_indices[-1]}): {exc}"
+            ) from exc
+
+    transfers: List[InterChipTransfer] = []
+    for shard in plan.shards:
+        for tensor, src in sorted(shard.incoming.items()):
+            src_plan = chips[src].plan
+            dst_plan = chips[shard.index].plan
+            nbytes = graph.tensor(tensor).size_bytes
+            transfers.append(
+                InterChipTransfer(
+                    src_chip=src,
+                    dst_chip=shard.index,
+                    tensor=tensor,
+                    src_address=src_plan.tensor_address[tensor],
+                    dst_address=dst_plan.tensor_address[tensor],
+                    nbytes=nbytes,
+                )
+            )
+    transfers.sort(key=lambda t: (t.src_chip, t.dst_chip, t.tensor))
+    return MultiChipModel(
+        sharding=plan, arch=arch, chips=chips, transfers=transfers
     )

@@ -6,6 +6,7 @@ from repro.config.arch import (
     CIMUnitConfig,
     CoreConfig,
     GlobalMemoryConfig,
+    InterChipConfig,
     LocalMemoryConfig,
     MacroConfig,
     MacroGroupConfig,
@@ -44,6 +45,7 @@ __all__ = [
     "RegisterFileConfig",
     "NoCConfig",
     "GlobalMemoryConfig",
+    "InterChipConfig",
     "EnergyConfig",
     "default_arch",
     "small_test_arch",

@@ -305,6 +305,42 @@ class GlobalMemoryConfig:
 
 
 @dataclass(frozen=True)
+class InterChipConfig:
+    """Chip-to-chip link used by multi-chip sharding (die-to-die SerDes).
+
+    When a model is pipeline-sharded across several chips
+    (``docs/ARCHITECTURE.md``, "Multi-chip sharding"), boundary
+    activation tensors cross this link.  Each ordered chip pair has a
+    dedicated point-to-point link; transfers on the same link serialise.
+    A transfer of ``n`` bytes occupies its link for
+    ``ceil(n / bandwidth_bytes_per_cycle)`` cycles and arrives
+    ``latency_cycles`` after its last flit leaves.
+    """
+
+    bandwidth_bytes_per_cycle: int = 16
+    latency_cycles: int = 500
+    energy_pj_per_byte: float = 12.0
+
+    def transfer_cycles(self, nbytes: int) -> int:
+        """Latency from departure to full arrival of an ``nbytes`` message."""
+        return self.latency_cycles + ceil_div(
+            max(1, nbytes), self.bandwidth_bytes_per_cycle
+        )
+
+    def serialization_cycles(self, nbytes: int) -> int:
+        """Cycles the link is occupied by an ``nbytes`` message."""
+        return ceil_div(max(1, nbytes), self.bandwidth_bytes_per_cycle)
+
+    def validate(self) -> None:
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ConfigError("inter-chip bandwidth must be positive")
+        if self.latency_cycles < 0:
+            raise ConfigError("inter-chip latency must be non-negative")
+        if self.energy_pj_per_byte < 0:
+            raise ConfigError("inter-chip energy must be non-negative")
+
+
+@dataclass(frozen=True)
 class ChipConfig:
     """Chip-level organisation: a mesh of cores plus global memory."""
 
@@ -363,6 +399,7 @@ class ArchConfig:
 
     chip: ChipConfig = field(default_factory=ChipConfig)
     energy: "EnergyConfig" = None  # type: ignore[assignment]
+    interchip: InterChipConfig = field(default_factory=InterChipConfig)
 
     def __post_init__(self):
         if self.energy is None:
@@ -373,6 +410,7 @@ class ArchConfig:
     def validate(self) -> None:
         self.chip.validate()
         self.energy.validate()
+        self.interchip.validate()
 
     # Convenience pass-throughs used throughout the compiler --------------
     @property

@@ -5,7 +5,8 @@ macro it cites ([11], 27.38 TOPS/W signed-INT8), memory compilers, Design
 Compiler + PrimeTime PX for peripheral logic, and Noxim for the NoC.  None
 of those proprietary flows are available offline, so this module substitutes
 published per-event energies of the same technology class (28 nm digital
-CIM).  See DESIGN.md section 4 for the substitution rationale.
+CIM); only relative results depend on them, as the paragraph below
+explains.
 
 All figures are **picojoules per event**.  Only *relative* results are
 reproduced from the paper (normalized speed/energy, breakdown shares,

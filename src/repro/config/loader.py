@@ -21,6 +21,7 @@ from repro.config.arch import (
     CIMUnitConfig,
     CoreConfig,
     GlobalMemoryConfig,
+    InterChipConfig,
     LocalMemoryConfig,
     MacroConfig,
     MacroGroupConfig,
@@ -78,7 +79,11 @@ def _build(cls, data: Dict[str, Any], nested: Dict[str, Any]):
 
 
 _NESTED = {
-    ArchConfig: {"chip": ChipConfig, "energy": EnergyConfig},
+    ArchConfig: {
+        "chip": ChipConfig,
+        "energy": EnergyConfig,
+        "interchip": InterChipConfig,
+    },
     ChipConfig: {
         "core": CoreConfig,
         "noc": NoCConfig,

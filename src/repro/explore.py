@@ -50,13 +50,14 @@ from repro.config import (
     with_flit_bytes,
     with_mg_size,
 )
+from repro.compiler.partition import shard_graph
 from repro.compiler.pipeline import plan_graph
 from repro.compiler.plan import ExecutionPlan
 from repro.errors import ConfigError
 from repro.explore_cache import ResultCache, point_key
 from repro.graph.graph import ComputationGraph
 from repro.graph.models import get_model
-from repro.sim.fastmodel import FastReport, analyze_plan
+from repro.sim.fastmodel import FastReport, analyze_plan, analyze_sharded
 
 #: Axes the paper sweeps in Fig. 6 / Fig. 7.
 MG_SIZES = (4, 8, 12, 16)
@@ -100,6 +101,7 @@ class DesignPoint:
     plan: Optional[ExecutionPlan] = field(repr=False, default=None)
     input_size: int = 224
     num_classes: int = 1000
+    chips: int = 1
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -123,6 +125,7 @@ class DesignPoint:
             "flit_bytes": self.flit_bytes,
             "input_size": self.input_size,
             "num_classes": self.num_classes,
+            "chips": self.chips,
             "cycles": self.cycles,
             "time_ms": self.report.time_ms,
             "energy_mj": self.energy_mj,
@@ -131,6 +134,32 @@ class DesignPoint:
             "energy_groups_mj": self.report.grouped_energy_mj(),
             "report": self.report.to_dict(),
         }
+
+
+def pareto_filter(items, coords: Callable[[Any], Tuple[float, float]]):
+    """Non-dominated subset of ``items`` under (minimise, maximise).
+
+    ``coords(item)`` returns ``(cost, benefit)``; an item survives iff
+    no other item has cost <= and benefit >= with at least one strict
+    inequality.  Coincident duplicates keep only the first occurrence;
+    the result is sorted by ascending cost.  Shared by
+    :meth:`SweepResult.pareto_front` and the CLI's ``report --pareto``.
+    """
+    items = list(items)
+    pairs = [coords(item) for item in items]
+    seen = set()
+    front = []
+    for (cost, benefit), item in zip(pairs, items):
+        if (cost, benefit) in seen:
+            continue
+        dominated = any(
+            (oc <= cost and ob >= benefit) and (oc < cost or ob > benefit)
+            for oc, ob in pairs
+        )
+        if not dominated:
+            seen.add((cost, benefit))
+            front.append(item)
+    return sorted(front, key=lambda item: (coords(item)[0], -coords(item)[1]))
 
 
 _graph_cache: Dict[Tuple[str, int, int], ComputationGraph] = {}
@@ -158,16 +187,28 @@ def evaluate_fast(
     input_size: int = 224,
     num_classes: int = 1000,
     closure_limit: Optional[int] = None,
+    chips: int = 1,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
     Unlike :func:`run_sweep` results, the returned point carries the full
-    :class:`ExecutionPlan` for inspection.
+    :class:`ExecutionPlan` for inspection (the *first shard's* plan for
+    multi-chip points -- ``chips > 1`` pipeline-shards the model and
+    composes the per-shard analyses over the inter-chip link model).
     """
     arch = arch or default_arch()
     graph = _cached_graph(model, input_size, num_classes)
-    plan = plan_graph(graph, arch, strategy, closure_limit)
-    report = analyze_plan(plan)
+    if chips > 1:
+        sharding = shard_graph(graph, chips)
+        plans = [
+            plan_graph(shard.graph, arch, strategy, closure_limit)
+            for shard in sharding.shards
+        ]
+        report = analyze_sharded(sharding, plans, arch)
+        plan = plans[0]
+    else:
+        plan = plan_graph(graph, arch, strategy, closure_limit)
+        report = analyze_plan(plan)
     return DesignPoint(
         model=model,
         strategy=strategy,
@@ -177,6 +218,7 @@ def evaluate_fast(
         plan=plan,
         input_size=input_size,
         num_classes=num_classes,
+        chips=chips,
     )
 
 
@@ -199,6 +241,7 @@ class PointSpec:
     mg_size: Optional[int] = None
     flit_bytes: Optional[int] = None
     closure_limit: Optional[int] = None
+    chips: int = 1
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -216,6 +259,7 @@ class PointSpec:
             self.input_size,
             self.num_classes,
             self.closure_limit,
+            self.chips,
         )
 
 
@@ -224,9 +268,11 @@ class SweepSpec:
     """Declarative description of a cross-product design-space sweep.
 
     Axes with value ``None`` are not varied: the corresponding parameter
-    of ``base_arch`` is used unchanged.  ``closure_limit`` bounds the DP
-    partitioner's closure enumeration and may be given per model (Fig. 7
-    caps EfficientNetB0 at 64 to keep the sweep tractable).
+    of ``base_arch`` is used unchanged.  ``chip_counts`` is the
+    multi-chip sharding axis (``(1,)`` by default: single chip).
+    ``closure_limit`` bounds the DP partitioner's closure enumeration
+    and may be given per model (Fig. 7 caps EfficientNetB0 at 64 to
+    keep the sweep tractable).
     """
 
     models: Tuple[str, ...]
@@ -237,12 +283,13 @@ class SweepSpec:
     num_classes: int = 1000
     base_arch: Optional[ArchConfig] = None
     closure_limit: ClosureLimit = None
+    chip_counts: Tuple[int, ...] = (1,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
-                     "input_sizes"):
+                     "input_sizes", "chip_counts"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -258,6 +305,8 @@ class SweepSpec:
             raise ConfigError("sweep needs at least one strategy")
         if not self.input_sizes:
             raise ConfigError("sweep needs at least one input size")
+        if not self.chip_counts or any(c <= 0 for c in self.chip_counts):
+            raise ConfigError("chip counts must be positive")
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -270,8 +319,10 @@ class SweepSpec:
     def points(self) -> List[PointSpec]:
         """The cross product, in deterministic order.
 
-        Order (outer to inner): model, strategy, input size, flit width,
-        MG size -- matching the row order of the paper's figure tables.
+        Order (outer to inner): model, strategy, input size, chip count,
+        flit width, MG size -- matching the row order of the paper's
+        figure tables (chip count rides between the software and
+        hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
@@ -279,22 +330,25 @@ class SweepSpec:
         for model in self.models:
             for strategy in self.strategies:
                 for input_size in self.input_sizes:
-                    for flit in flit_axis:
-                        for mg in mg_axis:
-                            out.append(PointSpec(
-                                model=model,
-                                strategy=strategy,
-                                input_size=input_size,
-                                num_classes=self.num_classes,
-                                mg_size=mg,
-                                flit_bytes=flit,
-                                closure_limit=self.limit_for(model),
-                            ))
+                    for chips in self.chip_counts:
+                        for flit in flit_axis:
+                            for mg in mg_axis:
+                                out.append(PointSpec(
+                                    model=model,
+                                    strategy=strategy,
+                                    input_size=input_size,
+                                    num_classes=self.num_classes,
+                                    mg_size=mg,
+                                    flit_bytes=flit,
+                                    closure_limit=self.limit_for(model),
+                                    chips=chips,
+                                ))
         return out
 
     def __len__(self) -> int:
         return (
             len(self.models) * len(self.strategies) * len(self.input_sizes)
+            * len(self.chip_counts)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -311,6 +365,7 @@ class SweepSpec:
             "input_sizes": list(self.input_sizes),
             "num_classes": self.num_classes,
             "closure_limit": limit,
+            "chip_counts": list(self.chip_counts),
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -372,6 +427,17 @@ class SweepResult:
             f"unknown metric {metric!r}; expected tops/energy_mj/cycles"
         )
 
+    def pareto_front(self) -> List[DesignPoint]:
+        """Energy/throughput Pareto front (Fig. 7's co-design frontier).
+
+        A point survives iff no other point has both lower-or-equal
+        ``energy_mj`` and higher-or-equal ``tops`` with at least one
+        strict improvement.  Returned sorted by ascending energy, which
+        makes the front directly plottable.  The CLI's ``report
+        --pareto`` applies the same :func:`pareto_filter` to saved rows.
+        """
+        return pareto_filter(self.points, lambda p: (p.energy_mj, p.tops))
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "spec": self.spec.to_dict(),
@@ -400,6 +466,7 @@ def _evaluate_spec(pspec: PointSpec, base_arch: ArchConfig) -> DesignPoint:
         pspec.input_size,
         pspec.num_classes,
         pspec.closure_limit,
+        pspec.chips,
     )
     point.plan = None
     return point
@@ -443,6 +510,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         plan=None,
         input_size=pspec.input_size,
         num_classes=pspec.num_classes,
+        chips=pspec.chips,
         cached=cached,
     )
 
@@ -513,6 +581,7 @@ def run_sweep(
                     "mg_size": point.mg_size,
                     "flit_bytes": point.flit_bytes,
                     "closure_limit": pspec.closure_limit,
+                    "chips": pspec.chips,
                 },
             )
         finish(index, point)
@@ -571,6 +640,7 @@ class SpotCheckResult:
             "strategy": self.point.strategy,
             "mg_size": self.point.mg_size,
             "flit_bytes": self.point.flit_bytes,
+            "chips": self.point.chips,
             "input_size": self.input_size,
             "cycles": int(self.report.cycles),
             "fast_cycles": int(self.fast_cycles),
@@ -597,7 +667,7 @@ def spot_check(
     ships with an empirical fast-model error bound.  Exposed on the CLI
     as ``python -m repro sweep --spot-check N``.
     """
-    from repro.compiler.pipeline import compile_graph
+    from repro.compiler.pipeline import compile_graph, compile_sharded
     from repro.sim.fastmodel import analyze_plan as analyze
     from repro.workflow import simulate
 
@@ -618,16 +688,25 @@ def spot_check(
             with_mg_size(spec.arch(), pt.mg_size), pt.flit_bytes
         )
         graph = _cached_graph(pt.model, input_size, num_classes)
-        compiled = compile_graph(
-            graph, arch, pt.strategy, spec.limit_for(pt.model)
-        )
+        if pt.chips > 1:
+            compiled = compile_sharded(
+                graph, arch, pt.chips, pt.strategy,
+                closure_limit=spec.limit_for(pt.model),
+            )
+            fast_cycles = analyze_sharded(
+                compiled.sharding, [c.plan for c in compiled.chips], arch
+            ).cycles
+        else:
+            compiled = compile_graph(
+                graph, arch, pt.strategy, closure_limit=spec.limit_for(pt.model)
+            )
+            fast_cycles = analyze(compiled.plan).cycles
         outcome = simulate(compiled, validate=validate, engine=engine)
-        fast = analyze(compiled.plan)
         checks.append(SpotCheckResult(
             point=pt,
             input_size=input_size,
             report=outcome.report,
-            fast_cycles=fast.cycles,
+            fast_cycles=fast_cycles,
             validated=outcome.validated,
         ))
     return checks

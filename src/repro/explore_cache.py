@@ -32,7 +32,9 @@ from repro.config import ArchConfig, arch_fingerprint
 from repro.sim.fastmodel import FastReport
 
 #: Bump when the fast model's semantics change; invalidates old entries.
-CACHE_SCHEMA_VERSION = 1
+#: v2: multi-chip sharding -- keys carry the chip count and architecture
+#: fingerprints include the inter-chip link block.
+CACHE_SCHEMA_VERSION = 2
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -73,13 +75,15 @@ def point_key(
     input_size: int,
     num_classes: int,
     closure_limit: Optional[int] = None,
+    chips: int = 1,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
-    key; the architecture contributes through its own content fingerprint
-    so structurally identical :class:`ArchConfig` instances collide (which
-    is exactly what we want).
+    key -- including the multi-chip shard count; the architecture
+    contributes through its own content fingerprint so structurally
+    identical :class:`ArchConfig` instances collide (which is exactly
+    what we want).
     """
     material = json.dumps(
         {
@@ -90,6 +94,7 @@ def point_key(
             "input_size": input_size,
             "num_classes": num_classes,
             "closure_limit": closure_limit,
+            "chips": chips,
         },
         sort_keys=True,
         separators=(",", ":"),

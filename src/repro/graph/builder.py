@@ -3,8 +3,8 @@
 :class:`GraphBuilder` performs shape inference as operators are added and
 fills in seeded-random INT8 weights / INT32 biases plus deterministic
 requantisation parameters, standing in for the trained ONNX models the
-paper consumes (DESIGN.md substitution #3 -- compilation and simulation
-behaviour depend on topology and shapes, not on weight values).
+paper consumes -- compilation and simulation behaviour depend on
+topology and shapes, not on weight values.
 """
 
 from typing import Optional, Sequence

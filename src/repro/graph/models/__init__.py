@@ -1,8 +1,10 @@
 """Model zoo: the paper's evaluation suite plus small test models.
 
 Every builder takes ``input_size`` so benchmarks can run the full-depth
-layer stacks at reduced resolution (DESIGN.md substitution #5) and ``seed``
-for reproducible synthetic INT8 weights.
+layer stacks at reduced resolution (compilation and simulation behaviour
+depend on topology and shapes, not on trained weights) and ``seed`` for
+reproducible synthetic INT8 weights.  See ``docs/ARCHITECTURE.md``
+("Graph IR and model zoo").
 """
 
 import inspect

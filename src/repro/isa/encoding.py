@@ -4,7 +4,7 @@ from typing import Optional
 
 from repro.errors import ISAError
 from repro.isa.extension import ISARegistry, default_registry
-from repro.isa.formats import FIELD_LAYOUT, SIGNED_FIELDS
+from repro.isa.formats import FIELD_LAYOUT
 from repro.isa.instruction import Instruction
 from repro.utils.bits import extract_bits, insert_bits, sign_extend, to_twos_complement
 
@@ -41,7 +41,7 @@ def encode(instr: Instruction, registry: Optional[ISARegistry] = None) -> int:
         try:
             raw = (
                 to_twos_complement(value, width)
-                if name in SIGNED_FIELDS
+                if desc.field_signed(name)
                 else value
             )
             word = insert_bits(word, lo, width, raw)
@@ -63,7 +63,7 @@ def decode(word: int, registry: Optional[ISARegistry] = None) -> Instruction:
         if name == "opcode":
             continue
         raw = extract_bits(word, lo, width)
-        value = sign_extend(raw, width) if name in SIGNED_FIELDS else raw
+        value = sign_extend(raw, width) if desc.field_signed(name) else raw
         if value != 0:
             fields[name] = value
     return Instruction(desc.mnemonic, fields)

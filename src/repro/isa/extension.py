@@ -91,9 +91,11 @@ _BUILTINS: List[InstructionDescriptor] = [
     _D("SC_SLTI", Opcode.SC_SLTI, _C.SCALAR, _F.SCALAR_I, ("rs", "rt", "imm"),
        "rt = 1 if rs < imm else 0"),
     _D("SC_LUI", Opcode.SC_LUI, _C.SCALAR, _F.CTL, ("rt", "offset"),
-       "rt = offset << 16 (load upper immediate)"),
+       "rt = offset << 16 (load upper immediate, zero-extending)",
+       unsigned_fields=("offset",)),
     _D("SC_ORI", Opcode.SC_ORI, _C.SCALAR, _F.CTL, ("rs", "rt", "offset"),
-       "rt = rs | zero-extended 16-bit immediate"),
+       "rt = rs | zero-extended 16-bit immediate",
+       unsigned_fields=("offset",)),
     _D("MV_G2S", Opcode.MV_G2S, _C.SCALAR, _F.SCALAR_I, ("rs", "imm"),
        "special register [imm] = general register rs"),
     _D("MV_S2G", Opcode.MV_S2G, _C.SCALAR, _F.SCALAR_I, ("rt", "imm"),

@@ -12,8 +12,11 @@ MEM        ``opcode | rs | rt | rd | offset(11)``
 CTL        ``opcode | rs | rt | offset(16)``
 =========  =====================================================
 
-Immediates and offsets are two's-complement signed; all other fields are
-unsigned.
+Immediates and offsets are two's-complement signed by default; all other
+fields are unsigned.  Individual instructions with zero-extending
+semantics (``SC_LUI`` / ``SC_ORI``) override the default through their
+descriptor's ``unsigned_fields``
+(:class:`repro.isa.instruction.InstructionDescriptor`).
 """
 
 import enum
@@ -69,7 +72,8 @@ FIELD_LAYOUT: Dict[Format, Dict[str, Tuple[int, int]]] = {
     },
 }
 
-#: fields interpreted as two's-complement signed values.
+#: fields interpreted as two's-complement signed values (unless the
+#: instruction's descriptor lists them in ``unsigned_fields``).
 SIGNED_FIELDS = frozenset({"imm", "offset"})
 
 #: operand fields that name general-purpose registers.

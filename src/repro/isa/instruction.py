@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.errors import ISAError
-from repro.isa.formats import FIELD_LAYOUT, Format
+from repro.isa.formats import FIELD_LAYOUT, Format, SIGNED_FIELDS
 from repro.isa.opcodes import Category
 
 
@@ -40,6 +40,13 @@ class InstructionDescriptor:
         instead and leave this ``None``.
     energy_pj:
         Fixed per-execution energy in picojoules (extensions only).
+    unsigned_fields:
+        Immediate/offset fields this operation interprets as *unsigned*
+        (zero-extending), overriding the format-level two's-complement
+        default of :data:`~repro.isa.formats.SIGNED_FIELDS`.  ``SC_LUI``
+        and ``SC_ORI`` declare their 16-bit ``offset`` here, so
+        ``li``-expanded constants with the high bit set (>= 0x8000)
+        round-trip through binary encoding.
     """
 
     mnemonic: str
@@ -50,6 +57,7 @@ class InstructionDescriptor:
     description: str = ""
     latency: Optional[int] = None
     energy_pj: Optional[float] = None
+    unsigned_fields: Tuple[str, ...] = ()
 
     def __post_init__(self):
         if not 0 <= self.opcode < 64:
@@ -61,6 +69,16 @@ class InstructionDescriptor:
                     f"{self.mnemonic}: operand '{operand}' not present in "
                     f"format {self.fmt.value}"
                 )
+        for name in self.unsigned_fields:
+            if name not in layout:
+                raise ISAError(
+                    f"{self.mnemonic}: unsigned field '{name}' not present "
+                    f"in format {self.fmt.value}"
+                )
+
+    def field_signed(self, name: str) -> bool:
+        """Whether field ``name`` encodes as two's-complement signed."""
+        return name in SIGNED_FIELDS and name not in self.unsigned_fields
 
 
 @dataclass

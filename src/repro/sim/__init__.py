@@ -10,11 +10,19 @@ from repro.sim.chip import ChipSimulator, default_engine
 from repro.sim.energy import EnergyAccountant
 from repro.sim.functional import execute_graph, golden_outputs, random_input
 from repro.sim.memory import MemorySystem
+from repro.sim.multichip import (
+    MultiChipReport,
+    MultiChipSimulator,
+    pipeline_schedule,
+)
 from repro.sim.noc import NoC
 from repro.sim.report import SimulationReport
 
 __all__ = [
     "ChipSimulator",
+    "MultiChipSimulator",
+    "MultiChipReport",
+    "pipeline_schedule",
     "SimulationReport",
     "MemorySystem",
     "NoC",

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.compiler.cost import CostModel
 from repro.compiler.plan import ExecutionPlan
+from repro.sim.report import group_energy_mj
 
 
 @dataclass
@@ -90,18 +91,12 @@ class FastReport:
         )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
-        """Fig. 6 grouping: local memory / compute / NoC (+ global, other)."""
-        e = {k: v / 1e9 for k, v in self.energy_breakdown_pj.items()}
-        return {
-            "local_mem": e.get("local_mem", 0.0),
-            "compute": (
-                e.get("cim_compute", 0.0) + e.get("cim_write", 0.0)
-                + e.get("vector", 0.0) + e.get("scalar", 0.0)
-            ),
-            "noc": e.get("noc", 0.0),
-            "global_mem": e.get("global_mem", 0.0),
-            "other": e.get("static", 0.0) + e.get("instruction", 0.0),
-        }
+        """Fig. 6 grouping: local memory / compute / NoC (+ global, other).
+
+        ``interchip`` is the chip-to-chip link energy of multi-chip
+        sharded points (zero for single-chip points).
+        """
+        return group_energy_mj(self.energy_breakdown_pj)
 
 
 def analyze_plan(
@@ -170,5 +165,51 @@ def analyze_plan(
         energy_breakdown_pj=energy,
         macs=macs,
         clock_mhz=clock,
+        stage_cycles=stage_cycles,
+    )
+
+
+def analyze_sharded(sharding, plans, arch=None) -> FastReport:
+    """Fast-model analysis of a multi-chip sharded execution.
+
+    ``sharding`` is a :class:`~repro.compiler.partition.ShardingPlan`
+    and ``plans`` the per-shard :class:`ExecutionPlan` list (one chip
+    each).  Every shard is analysed with :func:`analyze_plan` unchanged;
+    the chips are then composed with the same closed-form pipeline/link
+    schedule the cycle-level multi-chip scheduler uses
+    (:func:`repro.sim.multichip.pipeline_schedule`), and boundary-tensor
+    bytes are charged at the inter-chip link energy.  Stage cycles are
+    re-keyed as one global sequence (chip order, then stage order).
+    """
+    from repro.sim.multichip import merge_shard_energy, pipeline_schedule
+
+    arch = arch or plans[0].arch
+    reports = [analyze_plan(plan) for plan in plans]
+    edges = []
+    for shard in sharding.shards:
+        for tensor in sorted(shard.incoming):
+            edges.append((
+                shard.incoming[tensor],
+                shard.index,
+                sharding.graph.tensor(tensor).size_bytes,
+            ))
+    edges.sort()
+    _, _, makespan = pipeline_schedule(
+        [r.cycles for r in reports], edges, arch.interchip
+    )
+
+    total_bytes = sum(nbytes for _, _, nbytes in edges)
+    energy = merge_shard_energy(
+        [r.energy_breakdown_pj for r in reports], total_bytes, arch.interchip
+    )
+    stage_cycles: Dict[int, int] = {}
+    for report in reports:
+        for _, cycles in sorted(report.stage_cycles.items()):
+            stage_cycles[len(stage_cycles)] = cycles
+    return FastReport(
+        cycles=makespan,
+        energy_breakdown_pj=energy,
+        macs=sum(r.macs for r in reports),
+        clock_mhz=arch.chip.clock_mhz,
         stage_cycles=stage_cycles,
     )

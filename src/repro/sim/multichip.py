@@ -1,0 +1,274 @@
+"""Multi-chip simulation: lock-step pipeline of chip simulators.
+
+A :class:`~repro.compiler.pipeline.MultiChipModel` carries one compiled
+single-chip workload per shard plus the explicit
+:class:`~repro.compiler.pipeline.InterChipTransfer` schedule between
+them.  :class:`MultiChipSimulator` instantiates one unchanged
+:class:`~repro.sim.chip.ChipSimulator` per chip (hot-block engine and
+all) and executes the pipeline:
+
+1. chips run in shard order; chip ``k`` starts at the cycle its last
+   inbound transfer arrives (chip 0 starts at 0);
+2. when a chip finishes, its outbound transfers depart over the modeled
+   chip-to-chip link (:class:`~repro.config.InterChipConfig`): each
+   ordered chip pair has a dedicated point-to-point link, transfers on
+   the same link serialise, and a transfer of ``n`` bytes occupies its
+   link for ``ceil(n / bandwidth)`` cycles and arrives ``latency``
+   cycles later;
+3. transfer payloads are moved between the chips' global memories, so
+   simulation remains functionally exact and the final outputs can be
+   validated bit-exactly against the golden model.
+
+The same closed-form schedule (:func:`pipeline_schedule`) prices
+inter-chip transfers in the fast analytical model
+(:func:`repro.sim.fastmodel.analyze_sharded`), so the two fidelity
+levels share one timing contract.  See ``docs/ARCHITECTURE.md``
+("Multi-chip sharding").
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import ArchConfig, InterChipConfig
+from repro.sim.chip import ChipSimulator
+from repro.sim.report import SimulationReport, group_energy_mj
+
+#: (src_chip, dst_chip, nbytes) -- the schedule-level view of a transfer.
+TransferEdge = Tuple[int, int, int]
+
+
+def pipeline_schedule(
+    chip_cycles: Sequence[int],
+    transfers: Sequence[TransferEdge],
+    link: InterChipConfig,
+) -> Tuple[List[int], List[int], int]:
+    """Closed-form pipeline timing shared by both simulation tiers.
+
+    ``chip_cycles[k]`` is chip ``k``'s own execution time; ``transfers``
+    lists (src, dst, nbytes) edges in schedule order (src < dst).
+    Returns ``(starts, finishes, makespan)`` in cycles.  All transfers
+    out of a chip depart after it finishes; transfers sharing a (src,
+    dst) link serialise in schedule order; a chip starts once every
+    inbound transfer has fully arrived.
+    """
+    n = len(chip_cycles)
+    starts = [0] * n
+    finishes = [0] * n
+    arrival = [0] * n
+    link_free: Dict[Tuple[int, int], int] = {}
+    for k in range(n):
+        starts[k] = max(starts[k], arrival[k])
+        finishes[k] = starts[k] + chip_cycles[k]
+        for src, dst, nbytes in transfers:
+            if src != k:
+                continue
+            depart = max(finishes[k], link_free.get((src, dst), 0))
+            link_free[(src, dst)] = depart + link.serialization_cycles(nbytes)
+            arrive = depart + link.transfer_cycles(nbytes)
+            arrival[dst] = max(arrival[dst], arrive)
+    makespan = max(finishes) if finishes else 0
+    return starts, finishes, makespan
+
+
+def merge_shard_energy(
+    breakdowns: Sequence[Dict[str, float]],
+    interchip_bytes: int,
+    link: InterChipConfig,
+) -> Dict[str, float]:
+    """Sum per-chip energy breakdowns and charge the inter-chip link.
+
+    The energy half of the multi-chip contract, shared verbatim by the
+    cycle-level scheduler and the fast model (:func:`repro.sim.fastmodel.
+    analyze_sharded`): per-chip categories add, and boundary traffic is
+    charged at ``link.energy_pj_per_byte`` under the ``interchip`` key.
+    """
+    energy: Dict[str, float] = {}
+    for breakdown in breakdowns:
+        for key, value in breakdown.items():
+            energy[key] = energy.get(key, 0.0) + value
+    if interchip_bytes:
+        energy["interchip"] = (
+            energy.get("interchip", 0.0)
+            + interchip_bytes * link.energy_pj_per_byte
+        )
+    return energy
+
+
+@dataclass
+class MultiChipReport:
+    """Aggregate performance report of one multi-chip pipeline run.
+
+    Mirrors :class:`~repro.sim.report.SimulationReport` (``cycles`` is
+    the pipeline makespan, energies are summed across chips plus the
+    ``interchip`` link energy) and keeps the per-chip reports and the
+    pipeline schedule for inspection.
+    """
+
+    arch: ArchConfig
+    cycles: int
+    energy_breakdown_pj: Dict[str, float]
+    macs: int
+    instructions: int
+    chip_reports: List[SimulationReport]
+    chip_starts: List[int]
+    chip_finishes: List[int]
+    interchip_bytes: int = 0
+    noc_bytes: int = 0
+    noc_byte_hops: int = 0
+    utilization: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def num_chips(self) -> int:
+        return len(self.chip_reports)
+
+    @property
+    def time_ms(self) -> float:
+        return self.cycles * self.arch.chip.cycle_ns / 1e6
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.total_energy_pj / 1e9
+
+    @property
+    def tops(self) -> float:
+        seconds = self.cycles * self.arch.chip.cycle_ns / 1e9
+        if seconds <= 0:
+            return 0.0
+        return 2.0 * self.macs / seconds / 1e12
+
+    def grouped_energy_mj(self) -> Dict[str, float]:
+        """Fig. 6 grouping with the inter-chip link as its own bucket."""
+        return group_energy_mj(self.energy_breakdown_pj)
+
+    def to_dict(self) -> Dict:
+        from repro.config import arch_fingerprint
+
+        return {
+            "arch_fingerprint": arch_fingerprint(self.arch),
+            "num_chips": self.num_chips,
+            "cycles": int(self.cycles),
+            "time_ms": self.time_ms,
+            "total_energy_mj": self.total_energy_mj,
+            "tops": self.tops,
+            "macs": int(self.macs),
+            "instructions": int(self.instructions),
+            "interchip_bytes": int(self.interchip_bytes),
+            "noc_bytes": int(self.noc_bytes),
+            "noc_byte_hops": int(self.noc_byte_hops),
+            "chip_starts": [int(c) for c in self.chip_starts],
+            "chip_finishes": [int(c) for c in self.chip_finishes],
+            "utilization": {k: float(v) for k, v in self.utilization.items()},
+            "energy_breakdown_pj": {
+                k: float(v) for k, v in self.energy_breakdown_pj.items()
+            },
+            "energy_groups_mj": self.grouped_energy_mj(),
+            "chips": [r.to_dict() for r in self.chip_reports],
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"chips             : {self.num_chips}",
+            f"cycles (makespan) : {self.cycles:,}",
+            f"latency           : {self.time_ms:.3f} ms",
+            f"energy            : {self.total_energy_mj:.4f} mJ",
+            f"throughput        : {self.tops:.3f} TOPS",
+            f"MACs              : {self.macs:,}",
+            f"instructions      : {self.instructions:,}",
+            f"inter-chip bytes  : {self.interchip_bytes / 1024:.1f} KiB",
+            "pipeline          :",
+        ]
+        for k, (s, f) in enumerate(zip(self.chip_starts, self.chip_finishes)):
+            lines.append(f"  chip {k}: cycles [{s:,}, {f:,})")
+        lines.append("energy breakdown  :")
+        for key, value in sorted(self.grouped_energy_mj().items()):
+            lines.append(f"  {key:12s}: {value:.4f} mJ")
+        return "\n".join(lines)
+
+
+class MultiChipSimulator:
+    """Runs a :class:`MultiChipModel`: one :class:`ChipSimulator` per
+    shard, lock-step over the inter-chip link."""
+
+    def __init__(self, model, engine: Optional[str] = None):
+        self.model = model
+        self.arch: ArchConfig = model.arch
+        self.chips = [
+            ChipSimulator.from_compiled(compiled, engine=engine)
+            for compiled in model.chips
+        ]
+
+    def write_input(self, tensor: Optional[str], data) -> None:
+        """Write one model input into every chip that consumes it."""
+        import numpy as np
+
+        for chip, address in self.model.input_placements(tensor):
+            self.chips[chip].memory.write_global(
+                address, np.asarray(data, np.int8)
+            )
+
+    def read_output(self, tensor: Optional[str] = None):
+        """Read one model output from the chip that produced it."""
+        chip, address = self.model.output_placement(tensor)
+        name = tensor if tensor is not None else self.model.graph.outputs[0]
+        resolved = self.model.sharding.cgraph.resolve(name)
+        info = self.model.graph.tensor(resolved)
+        raw = self.chips[chip].memory.read_global(address, info.size_bytes)
+        return raw.reshape(info.shape)
+
+    def run(self) -> MultiChipReport:
+        """Execute the pipeline and aggregate the per-chip reports.
+
+        Chips execute in shard order (data dependencies only flow
+        forward), each on its own unchanged cycle-level simulator; the
+        transfer schedule moves boundary tensors between the chips'
+        global memories and the closed-form link model assembles the
+        pipeline timing.
+        """
+        link = self.arch.interchip
+        reports: List[SimulationReport] = []
+        for k, chip in enumerate(self.chips):
+            reports.append(chip.run())
+            for tr in self.model.transfers:
+                if tr.src_chip != k:
+                    continue
+                payload = chip.memory.read_global(tr.src_address, tr.nbytes)
+                self.chips[tr.dst_chip].memory.write_global(
+                    tr.dst_address, payload
+                )
+        edges = [
+            (t.src_chip, t.dst_chip, t.nbytes) for t in self.model.transfers
+        ]
+        starts, finishes, makespan = pipeline_schedule(
+            [r.cycles for r in reports], edges, link
+        )
+
+        total_bytes = self.model.interchip_bytes()
+        energy = merge_shard_energy(
+            [r.energy_breakdown_pj for r in reports], total_bytes, link
+        )
+
+        utilization: Dict[str, float] = {}
+        for report in reports:
+            for unit, value in report.utilization.items():
+                utilization[unit] = (
+                    utilization.get(unit, 0.0) + value / len(reports)
+                )
+
+        return MultiChipReport(
+            arch=self.arch,
+            cycles=makespan,
+            energy_breakdown_pj=energy,
+            macs=sum(r.macs for r in reports),
+            instructions=sum(r.instructions for r in reports),
+            chip_reports=reports,
+            chip_starts=starts,
+            chip_finishes=finishes,
+            interchip_bytes=total_bytes,
+            noc_bytes=sum(r.noc_bytes for r in reports),
+            noc_byte_hops=sum(r.noc_byte_hops for r in reports),
+            utilization=utilization,
+        )

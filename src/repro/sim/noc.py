@@ -1,9 +1,9 @@
 """Mesh Network-on-Chip model with XY routing and link contention.
 
-Messages are modelled at message granularity (Noxim-style costs, DESIGN.md
-substitution #4): a transfer serialises onto each directed link of its XY
-route for ``ceil(bytes / flit)`` cycles, links remember when they free up,
-and later messages queue behind earlier ones.  Global-memory traffic is
+Messages are modelled at message granularity (Noxim-style costs, standing
+in for the paper's flit-level Noxim runs): a transfer serialises onto each
+directed link of its XY route for ``ceil(bytes / flit)`` cycles, links
+remember when they free up, and later messages queue behind earlier ones.  Global-memory traffic is
 routed to a memory port at mesh node (0, 0).
 """
 

@@ -10,6 +10,28 @@ from typing import Dict
 from repro.config import ArchConfig
 
 
+def group_energy_mj(energy_breakdown_pj: Dict[str, float]) -> Dict[str, float]:
+    """The paper's Fig. 6 energy grouping, shared by every report type.
+
+    Local memory / compute units / NoC, plus global memory, the
+    inter-chip link (zero for single-chip runs), and everything else
+    (instruction fetch, static).  The buckets partition the breakdown:
+    their sum equals the total energy.
+    """
+    e = {k: v / 1e9 for k, v in energy_breakdown_pj.items()}
+    return {
+        "local_mem": e.get("local_mem", 0.0),
+        "compute": (
+            e.get("cim_compute", 0.0) + e.get("cim_write", 0.0)
+            + e.get("vector", 0.0) + e.get("scalar", 0.0)
+        ),
+        "noc": e.get("noc", 0.0),
+        "global_mem": e.get("global_mem", 0.0),
+        "interchip": e.get("interchip", 0.0),
+        "other": e.get("instruction", 0.0) + e.get("static", 0.0),
+    }
+
+
 @dataclass
 class SimulationReport:
     """Performance metrics of one simulated workload execution."""
@@ -51,17 +73,7 @@ class SimulationReport:
     def grouped_energy_mj(self) -> Dict[str, float]:
         """Energy grouped as in the paper's Fig. 6: local memory / compute
         units / NoC (global memory, instruction and static reported too)."""
-        e = self.energy_mj
-        return {
-            "local_mem": e.get("local_mem", 0.0),
-            "compute": (
-                e.get("cim_compute", 0.0) + e.get("cim_write", 0.0)
-                + e.get("vector", 0.0) + e.get("scalar", 0.0)
-            ),
-            "noc": e.get("noc", 0.0),
-            "global_mem": e.get("global_mem", 0.0),
-            "other": e.get("instruction", 0.0) + e.get("static", 0.0),
-        }
+        return group_energy_mj(self.energy_breakdown_pj)
 
     def to_dict(self) -> Dict:
         """JSON-safe form (used by ``python -m repro run --json``).

@@ -11,8 +11,12 @@ evaluating DNN workloads on digital CIM architectures"::
 ``arch`` may be an :class:`~repro.config.ArchConfig` or a path to a JSON
 architecture file (the user-supplied configuration of Fig. 2); the same
 workflow is available from the command line as ``python -m repro run``.
-See ``docs/ARCHITECTURE.md`` for how this cycle-accurate path relates to
-the fast-model sweeps in :mod:`repro.explore`.
+With ``chips=N`` the model is pipeline-sharded across ``N`` identical
+chips (``python -m repro run --chips N``); outputs remain bit-exact
+against the golden model either way.  See ``docs/ARCHITECTURE.md`` for
+how this cycle-accurate path relates to the fast-model sweeps in
+:mod:`repro.explore`, and its "Multi-chip sharding" section for the
+shard/transfer contract.
 """
 
 from dataclasses import dataclass, field
@@ -22,20 +26,31 @@ from typing import Dict, Optional, Union
 import numpy as np
 
 from repro.config import ArchConfig, default_arch, load_arch
-from repro.errors import ValidationError
-from repro.compiler import CompiledModel, compile_graph
+from repro.errors import CompileError, ValidationError
+from repro.compiler import (
+    CompiledModel,
+    MultiChipModel,
+    compile_graph,
+    compile_sharded,
+)
 from repro.graph.graph import ComputationGraph
 from repro.sim.chip import ChipSimulator
 from repro.sim.functional import golden_outputs, random_input
+from repro.sim.multichip import MultiChipReport, MultiChipSimulator
 from repro.sim.report import SimulationReport
 
 
 @dataclass
 class WorkflowResult:
-    """Everything one compile+simulate run produces."""
+    """Everything one compile+simulate run produces.
 
-    compiled: CompiledModel
-    report: SimulationReport
+    ``compiled`` / ``report`` are the single-chip types for ``chips=1``
+    runs and :class:`MultiChipModel` / :class:`MultiChipReport` for
+    sharded runs; both expose the same latency/energy surface.
+    """
+
+    compiled: Union[CompiledModel, MultiChipModel]
+    report: Union[SimulationReport, MultiChipReport]
     outputs: Dict[str, np.ndarray]
     golden: Optional[Dict[str, np.ndarray]] = None
     validated: bool = False
@@ -70,19 +85,27 @@ def compile_model(
     model: Union[str, ComputationGraph],
     arch: ArchLike = None,
     strategy: str = "dp",
+    chips: int = 1,
     **model_kwargs,
-) -> CompiledModel:
+) -> Union[CompiledModel, MultiChipModel]:
     """Compile a model (zoo name or graph) for an architecture.
 
     ``arch`` accepts a ready :class:`ArchConfig` or the path of a JSON
     architecture configuration file (``None`` = the paper's Table I).
+    With ``chips > 1`` the model is pipeline-sharded across that many
+    identical chips and a :class:`MultiChipModel` is returned.
     """
+    if chips < 1:
+        raise CompileError(f"chip count must be >= 1, got {chips}")
     graph = _resolve_graph(model, **model_kwargs)
-    return compile_graph(graph, _resolve_arch(arch), strategy=strategy)
+    resolved = _resolve_arch(arch)
+    if chips > 1:
+        return compile_sharded(graph, resolved, chips, strategy=strategy)
+    return compile_graph(graph, resolved, strategy=strategy)
 
 
 def simulate(
-    compiled: CompiledModel,
+    compiled: Union[CompiledModel, MultiChipModel],
     input_data: Optional[np.ndarray] = None,
     validate: bool = True,
     seed: int = 0,
@@ -98,7 +121,15 @@ def simulate(
     engine, default) or ``"interp"`` (the legacy per-instruction
     interpreter); ``None`` defers to ``REPRO_SIM_ENGINE``.  Both produce
     bit-identical reports and outputs.
+
+    A :class:`MultiChipModel` (from ``compile_model(..., chips=N)``) is
+    routed to the multi-chip pipeline scheduler; the functional contract
+    (bit-exact golden validation) is unchanged.
     """
+    if isinstance(compiled, MultiChipModel):
+        return _simulate_multichip(
+            compiled, input_data, validate=validate, seed=seed, engine=engine
+        )
     graph = compiled.graph
     if input_data is None:
         input_data = random_input(graph, seed=seed)
@@ -141,6 +172,50 @@ def simulate(
     )
 
 
+def _simulate_multichip(
+    compiled: MultiChipModel,
+    input_data: Optional[np.ndarray],
+    validate: bool,
+    seed: int,
+    engine: Optional[str],
+) -> WorkflowResult:
+    """Multi-chip twin of :func:`simulate` (same validation contract)."""
+    graph = compiled.graph
+    if input_data is None:
+        input_data = random_input(graph, seed=seed)
+    input_tensor = graph.input_operators[0].output
+    sim = MultiChipSimulator(compiled, engine=engine)
+    sim.write_input(input_tensor, input_data)
+    report = sim.run()
+
+    outputs: Dict[str, np.ndarray] = {}
+    for name in graph.outputs:
+        info = graph.tensor(name)
+        outputs[name] = sim.read_output(name).reshape(info.shape)
+
+    golden = None
+    validated = False
+    if validate:
+        golden = golden_outputs(graph, {input_tensor: input_data})
+        for name, expected in golden.items():
+            got = outputs[name].reshape(expected.shape)
+            if not np.array_equal(got, expected):
+                bad = int(np.count_nonzero(got != expected))
+                raise ValidationError(
+                    f"{graph.name} [{compiled.num_chips} chips]: output "
+                    f"{name!r} differs from golden model in {bad}/"
+                    f"{expected.size} elements"
+                )
+        validated = True
+    return WorkflowResult(
+        compiled=compiled,
+        report=report,
+        outputs=outputs,
+        golden=golden,
+        validated=validated,
+    )
+
+
 def run_workflow(
     model: Union[str, ComputationGraph],
     arch: ArchLike = None,
@@ -149,10 +224,15 @@ def run_workflow(
     validate: bool = True,
     seed: int = 0,
     engine: Optional[str] = None,
+    chips: int = 1,
     **model_kwargs,
 ) -> WorkflowResult:
-    """The one-call pipeline: build/compile/simulate/validate/report."""
-    compiled = compile_model(model, arch, strategy, **model_kwargs)
+    """The one-call pipeline: build/compile/simulate/validate/report.
+
+    ``chips=N`` pipeline-shards the model across ``N`` identical chips
+    (the multi-chip backend); results stay bit-exact vs the golden model.
+    """
+    compiled = compile_model(model, arch, strategy, chips=chips, **model_kwargs)
     return simulate(
         compiled, input_data, validate=validate, seed=seed, engine=engine
     )

@@ -403,3 +403,59 @@ class TestSpotCheck:
         result = run_sweep(spec)
         with pytest.raises(ConfigError):
             spot_check(result, n=1, metric="watts")
+
+
+class TestParetoFront:
+    def _point(self, energy, tops, model="tiny_cnn"):
+        # tops = 2 * macs / seconds / 1e12; pick macs so tops comes out
+        # exactly: cycles=1000 @ 1000 MHz -> 1 us -> macs = tops * 5e5.
+        report = FastReport(
+            cycles=1000,
+            energy_breakdown_pj={"noc": energy * 1e9},
+            macs=int(tops * 5e5),
+            clock_mhz=1000,
+        )
+        return DesignPoint(
+            model=model, strategy="dp", mg_size=2, flit_bytes=8,
+            report=report, input_size=8, num_classes=10,
+        )
+
+    def _result(self, coords):
+        from repro.explore import SweepResult, SweepStats
+
+        points = [self._point(e, t) for e, t in coords]
+        spec = tiny_spec(models=("tiny_cnn",), strategies=("dp",))
+        return SweepResult(spec=spec, points=points,
+                           stats=SweepStats(total_points=len(points)))
+
+    def test_dominated_points_are_dropped(self):
+        result = self._result([
+            (1.0, 10.0),   # front (cheapest)
+            (2.0, 20.0),   # front (fastest)
+            (2.0, 10.0),   # dominated by both
+            (1.5, 15.0),   # front (knee)
+            (3.0, 19.0),   # dominated by (2.0, 20.0)
+        ])
+        front = result.pareto_front()
+        assert [(p.energy_mj, p.tops) for p in front] == [
+            (1.0, 10.0), (1.5, 15.0), (2.0, 20.0),
+        ]
+
+    def test_single_point_is_its_own_front(self):
+        result = self._result([(1.0, 1.0)])
+        assert len(result.pareto_front()) == 1
+
+    def test_duplicate_coordinates_kept_once(self):
+        result = self._result([(1.0, 10.0), (1.0, 10.0)])
+        assert len(result.pareto_front()) == 1
+
+    def test_front_from_real_sweep_is_nonempty_and_nondominated(self):
+        result = run_sweep(tiny_spec())
+        front = result.pareto_front()
+        assert front
+        for p in front:
+            assert not any(
+                (q.energy_mj <= p.energy_mj and q.tops >= p.tops)
+                and (q.energy_mj < p.energy_mj or q.tops > p.tops)
+                for q in result.points
+            )

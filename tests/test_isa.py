@@ -23,8 +23,6 @@ from repro.isa import (
     parse_line,
     parse_program,
 )
-from repro.isa.formats import SIGNED_FIELDS
-
 
 class TestFormats:
     def test_all_formats_are_32_bit(self):
@@ -45,8 +43,8 @@ class TestFormats:
             assert layout["opcode"] == (26, 6)
 
 
-def _field_strategy(name, width):
-    if name in SIGNED_FIELDS:
+def _field_strategy(desc, name, width):
+    if desc.field_signed(name):
         return st.integers(-(1 << (width - 1)), (1 << (width - 1)) - 1)
     return st.integers(0, (1 << width) - 1)
 
@@ -63,7 +61,7 @@ def _random_instruction(draw, declared_only=False):
             continue
         if declared_only and name not in desc.operands:
             continue
-        value = draw(_field_strategy(name, width))
+        value = draw(_field_strategy(desc, name, width))
         if value:
             fields[name] = value
     return Instruction(mnemonic, fields)
@@ -94,6 +92,40 @@ class TestEncoding:
     def test_decode_unknown_opcode(self):
         with pytest.raises(ISAError):
             decode(0x3B << 26)  # unassigned opcode
+
+    @pytest.mark.parametrize("value", [0x8000, 0xABCD, 0xFFFF])
+    def test_sc_ori_high_immediates_round_trip(self, value):
+        """SC_ORI zero-extends: offsets >= 0x8000 must survive encoding.
+
+        Regression for the ROADMAP item: the 16-bit offset field is
+        signed at the format level, but ORI's semantics are unsigned, so
+        the descriptor overrides the interpretation.
+        """
+        for mnemonic in ("SC_ORI", "SC_LUI"):
+            fields = {"rt": 3, "offset": value}
+            if mnemonic == "SC_ORI":
+                fields["rs"] = 3
+            instr = Instruction(mnemonic, fields)
+            decoded = decode(encode(instr))
+            assert decoded.mnemonic == mnemonic
+            assert decoded.offset == value
+
+    def test_branch_offsets_stay_signed(self):
+        """CTL-format branches keep two's-complement offsets."""
+        decoded = decode(encode(Instruction("BLT", {"rs": 1, "rt": 2,
+                                                    "offset": -4})))
+        assert decoded.offset == -4
+        with pytest.raises(ISAError):
+            encode(Instruction("BLT", {"rs": 1, "rt": 2, "offset": 0x8000}))
+
+    def test_li_expansion_encodes_any_address(self):
+        """li-expanded 32-bit constants with bit 15 set encode/decode."""
+        builder = ProgramBuilder()
+        builder.li(1, 0x4000_8000)  # GLOBAL_BASE | 0x8000: SC_ORI 0x8000
+        program = builder.finalize()
+        words = program.encode_all()
+        assert [decode(w).mnemonic for w in words] == ["SC_LUI", "SC_ORI"]
+        assert decode(words[1]).offset == 0x8000
 
 
 class TestAssembly:
