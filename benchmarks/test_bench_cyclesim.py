@@ -20,9 +20,16 @@ PR-over-PR (CI uploads it as a non-gating artifact):
 Every timed pair also asserts the exactness contract: identical
 ``SimulationReport`` fields (cycles, energy breakdown, utilization, NoC
 counters, instruction counts) from both engines.
+
+``REPRO_BENCH_TINY=1`` switches the harness to smoke scale: shorter
+loops and smaller model inputs with relaxed speedup gates (the
+bit-identity asserts are unchanged).  CI runs this tiny invocation as a
+separate fast job so every PR records a ``BENCH_cyclesim.json``
+artifact even when the full tier-1 run stops early.
 """
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -42,6 +49,14 @@ _RESULTS = {}
 
 #: Timing rounds per engine (minimum is reported).
 ROUNDS = 2
+
+#: Smoke scale: short loops, small inputs, relaxed speedup gates.
+TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
+
+#: (hot-loop iterations, model input size, model classes, anchor input).
+HOT_ITERS, MODEL_INPUT, MODEL_CLASSES, ANCHOR_INPUT = (
+    (150, 16, 10, 16) if TINY else (1500, 64, 100, 32)
+)
 
 
 def _report_fields(report):
@@ -100,7 +115,7 @@ def _bench_pair(name, make_sim):
     return entry
 
 
-def _hot_loop_program(iters=1500, rows=64, cols=16):
+def _hot_loop_program(iters=HOT_ITERS, rows=64, cols=16):
     """Per-core counted loop mirroring the paper's generated inner loop."""
     b = ProgramBuilder()
     b.li(1, GLOBAL_BASE)
@@ -143,33 +158,33 @@ def test_bench_hot_loop_engine_speedup():
         )
 
     entry = _bench_pair("hot_loop", make_sim)
-    assert entry["speedup"] >= 10.0, (
+    # At smoke scale the per-run engine set-up amortises over far fewer
+    # iterations, so only a loose floor is gated; full scale keeps 10x.
+    floor = 2.0 if TINY else 10.0
+    assert entry["speedup"] >= floor, (
         f"hot-block engine regressed to {entry['speedup']:.1f}x on the "
-        f"dispatch-bound loop workload (>= 10x required)"
+        f"dispatch-bound loop workload (>= {floor}x required)"
     )
 
 
-@pytest.mark.parametrize(
-    "model,input_size",
-    [("resnet18", 64), ("mobilenetv2", 64)],
-)
-def test_bench_model_engine_speedup(model, input_size):
+@pytest.mark.parametrize("model", ["resnet18", "mobilenetv2"])
+def test_bench_model_engine_speedup(model):
     """End-to-end compiled models: bit-identical, speedup tracked."""
     compiled = compile_model(
         model, arch=default_arch(), strategy="generic",
-        input_size=input_size, num_classes=100,
+        input_size=MODEL_INPUT, num_classes=MODEL_CLASSES,
     )
 
     def make_sim(engine):
         sim = ChipSimulator.from_compiled(compiled, engine=engine)
         return sim
 
-    entry = _bench_pair(f"{model}@{input_size}", make_sim)
+    entry = _bench_pair(f"{model}@{MODEL_INPUT}", make_sim)
     # End-to-end stacks include irreducible NumPy dataflow + NoC
     # modelling, and wall-clock ratios near 1 are noise-prone on shared
     # CI runners -- gate only against catastrophic engine regressions;
     # the magnitude is tracked (non-gating) in BENCH_cyclesim.json.
-    assert entry["speedup"] > 0.3
+    assert entry["speedup"] > (0.2 if TINY else 0.3)
 
 
 def test_bench_cyclesim_fastmodel_anchor():
@@ -178,14 +193,14 @@ def test_bench_cyclesim_fastmodel_anchor():
 
     result = run_workflow(
         "resnet18", arch=default_arch(), strategy="generic",
-        input_size=32, num_classes=100,
+        input_size=ANCHOR_INPUT, num_classes=MODEL_CLASSES,
     )
     assert result.validated
     fast = analyze_plan(result.compiled.plan)
     ratio = fast.cycles / result.report.cycles
     r = result.report
     print(
-        f"\nresnet18@32: cycle-sim {r.cycles:,} cycles / "
+        f"\nresnet18@{ANCHOR_INPUT}: cycle-sim {r.cycles:,} cycles / "
         f"{r.total_energy_mj:.3f} mJ / {r.instructions:,} instructions; "
         f"fast model {fast.cycles:,} cycles (ratio {ratio:.2f})"
     )
@@ -204,6 +219,7 @@ def test_bench_write_results():
     payload = {
         "benchmark": "cyclesim_engine_vs_interp",
         "rounds": ROUNDS,
+        "tiny": TINY,
         "workloads": _RESULTS,
     }
     RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -57,8 +57,18 @@ from repro.explore import (
     strategy_comparison,
 )
 from repro.explore_cache import ResultCache
-from repro.sim.fastmodel import FastReport, analyze_plan, analyze_sharded
-from repro.sim.multichip import MultiChipReport, MultiChipSimulator
+from repro.sim.fastmodel import (
+    FastReport,
+    analyze_plan,
+    analyze_sharded,
+    stream_batched,
+)
+from repro.sim.multichip import (
+    MultiChipReport,
+    MultiChipSimulator,
+    steady_state_interval,
+    streaming_schedule,
+)
 from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
 
 __version__ = "0.1.0"
@@ -76,6 +86,9 @@ __all__ = [
     "MultiChipSimulator",
     "MultiChipReport",
     "analyze_sharded",
+    "stream_batched",
+    "steady_state_interval",
+    "streaming_schedule",
     "simulate",
     "run_workflow",
     "WorkflowResult",

@@ -5,10 +5,12 @@ exploration engine without writing any Python:
 
 - ``run``     -- compile one model and execute it on the cycle-accurate
   simulator, validating against the golden model (Fig. 2 workflow);
-  ``--chips N`` pipeline-shards the model across N chips;
+  ``--chips N`` pipeline-shards the model across N chips, ``--batch B``
+  streams B inputs through it (throughput mode);
 - ``sweep``   -- evaluate a cross-product design space with the fast
   analytical model, in parallel and through the on-disk result cache
-  (``--chips`` adds the multi-chip axis);
+  (``--chips`` adds the multi-chip axis, ``--batch`` the streaming
+  batch axis);
 - ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
   per compilation strategy);
 - ``report``  -- re-render / convert a saved ``sweep --json`` file
@@ -41,9 +43,19 @@ from repro.graph.models import available_models
 _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
-    "model", "strategy", "input_size", "chips", "mg_size", "flit_bytes",
-    "cycles", "time_ms", "energy_mj", "tops", "cached",
+    "model", "strategy", "input_size", "chips", "batch", "mg_size",
+    "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
+    "throughput_inf_s", "energy_per_inf_mj", "cached",
 )
+
+#: Fallbacks for sweep-result rows written before the column existed
+#: (pre-batch files lack batch/throughput/energy-per-inference).
+_COLUMN_DEFAULTS = {"chips": 1, "batch": 1}
+
+_BEST_METRICS = (
+    "tops", "throughput_inf_s", "energy_mj", "energy_per_inf_mj", "cycles",
+)
+_ASCENDING_METRICS = ("energy_mj", "energy_per_inf_mj", "cycles")
 
 
 # ---------------------------------------------------------------------------
@@ -103,20 +115,31 @@ def _add_arch_options(parser: argparse.ArgumentParser) -> None:
 # Output helpers
 # ---------------------------------------------------------------------------
 
+def _optional_cell(row: Dict[str, Any], key: str, fmt: str, width: int) -> str:
+    """Format a possibly-missing numeric column (old result files)."""
+    value = row.get(key)
+    if value is None:
+        return f"{'-':>{width}s}"
+    return f"{value:>{width}{fmt}}"
+
+
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
     header = (
-        f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'MG':>4s}"
-        f"{'flit':>6s}"
-        f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}{'cache':>7s}"
+        f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'B':>4s}"
+        f"{'MG':>4s}{'flit':>6s}"
+        f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}"
+        f"{'inf/s':>11s}{'mJ/inf':>9s}{'cache':>7s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
-            f"{row.get('chips', 1):>6d}"
+            f"{row.get('chips', 1):>6d}{row.get('batch', 1):>4d}"
             f"{row['mg_size']:>4d}{row['flit_bytes']:>6d}"
             f"{row['cycles']:>12,d}{row['time_ms']:>9.2f}"
             f"{row['energy_mj']:>9.2f}{row['tops']:>8.2f}"
+            f"{_optional_cell(row, 'throughput_inf_s', ',.0f', 11)}"
+            f"{_optional_cell(row, 'energy_per_inf_mj', '.2f', 9)}"
             f"{'hit' if row.get('cached') else '-':>7s}"
         )
     return "\n".join(lines)
@@ -128,7 +151,7 @@ def _write_csv(rows: Sequence[Dict[str, Any]], path: str) -> None:
         writer.writeheader()
         for row in rows:
             writer.writerow(
-                {col: row.get("chips", 1) if col == "chips" else row[col]
+                {col: row.get(col, _COLUMN_DEFAULTS.get(col, ""))
                  for col in _POINT_COLUMNS}
             )
 
@@ -151,12 +174,19 @@ def _cmd_run(args) -> int:
         validate=not args.no_validate,
         seed=args.seed,
         chips=args.chips,
+        batch=args.batch,
         input_size=args.input_size,
         num_classes=args.num_classes,
     )
     print(result.compiled.summary())
     if not args.no_validate:
-        print("validated : bit-exact vs golden model")
+        if result.batch > 1:
+            print(
+                f"validated : bit-exact vs golden model "
+                f"({result.batch} inputs, each in isolation)"
+            )
+        else:
+            print("validated : bit-exact vs golden model")
     print()
     print(result.report)
     if args.json:
@@ -167,6 +197,7 @@ def _cmd_run(args) -> int:
                 "input_size": args.input_size,
                 "num_classes": args.num_classes,
                 "chips": args.chips,
+                "batch": args.batch,
                 "validated": result.validated,
                 "report": result.report.to_dict(),
             },
@@ -190,8 +221,8 @@ def _progress_printer(quiet: bool):
         tag = "cache hit" if point.cached else "evaluated"
         print(
             f"[{done:>3d}/{total}] {point.model:<16s}{point.strategy:>12s}"
-            f"  chips={point.chips:<2d}MG={point.mg_size:<3d}"
-            f"flit={point.flit_bytes:<3d}"
+            f"  chips={point.chips:<2d}B={point.batch:<3d}"
+            f"MG={point.mg_size:<3d}flit={point.flit_bytes:<3d}"
             f" TOPS={point.tops:6.2f}  ({tag})",
             flush=True,
         )
@@ -210,6 +241,7 @@ def _cmd_sweep(args) -> int:
         base_arch=_resolve_arch(args),
         closure_limit=args.closure_limit,
         chip_counts=tuple(args.chips),
+        batch_sizes=tuple(args.batch),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -339,7 +371,22 @@ def _cmd_report(args) -> int:
             f"{stats.get('wall_time_s', 0.0):.1f}s, "
             f"{stats.get('cache_hits', 0)} cache hits"
         )
-    reverse = args.best == "tops"
+    if not rows:
+        # An empty sweep file is well-formed (e.g. a filtered export):
+        # there is nothing to rank or filter, but it is not an error.
+        print("\n(no points)")
+        if args.csv:
+            _write_csv(rows, args.csv)
+            print(f"wrote {args.csv}")
+        return 0
+    if any(args.best not in row for row in rows):
+        print(
+            f"error: results file predates the {args.best!r} column; "
+            f"re-run the sweep to rank by it",
+            file=sys.stderr,
+        )
+        return 2
+    reverse = args.best not in _ASCENDING_METRICS
     ranked = sorted(rows, key=lambda r: r[args.best], reverse=reverse)
     print(f"\ntop {min(args.top, len(ranked))} by {args.best}:")
     print(_format_table(ranked[: args.top]))
@@ -382,6 +429,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--chips", type=int, default=1, metavar="N",
                      help="pipeline-shard the model across N identical "
                           "chips (default 1: single chip)")
+    run.add_argument("--batch", type=int, default=1, metavar="B",
+                     help="stream B independent inputs through the "
+                          "configuration (throughput mode: a multi-chip "
+                          "pipeline overlaps inputs across chips, one chip "
+                          "replays them sequentially; default 1)")
     run.add_argument("--input-size", type=int, default=32,
                      help="input resolution (cycle sim; keep small)")
     run.add_argument("--num-classes", type=int, default=10)
@@ -413,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="N[,N...]",
                        help="chip counts to sweep (multi-chip pipeline "
                             "sharding; default: single chip)")
+    sweep.add_argument("--batch", type=_int_list, default=[1],
+                       metavar="B[,B...]",
+                       help="streaming batch sizes to sweep (throughput "
+                            "mode; default: single-shot latency)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",
@@ -465,7 +521,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("results", help="JSON file written by 'sweep --json'")
     report.add_argument("--best", default="tops",
-                        choices=("tops", "energy_mj", "cycles"),
+                        choices=_BEST_METRICS,
                         help="metric for the ranked summary")
     report.add_argument("--top", type=int, default=5,
                         help="how many top points to list")

@@ -186,6 +186,14 @@ class CondensedGraph:
                 other_index = self.producer_index.get(residual)
                 if other_index is not None and other_index > node.index:
                     continue
+                if any(ni.tensor == residual for ni in node.inputs):
+                    # The residual would alias an input this node already
+                    # reads (e.g. add(relu(conv(x)), x)): one tensor would
+                    # then feed two buffer roles of the same node, and a
+                    # same-stage producer's row stream cannot serve two
+                    # differently-paced readers over one channel.  Keep
+                    # the add as its own node instead.
+                    continue
             node.fused.append(op)
             node.output = op.output
             del self.producer_index[resolved]

@@ -30,7 +30,7 @@ from the command line with JSON/CSV export.  See ``docs/ARCHITECTURE.md``
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -57,7 +57,12 @@ from repro.errors import ConfigError
 from repro.explore_cache import ResultCache, point_key
 from repro.graph.graph import ComputationGraph
 from repro.graph.models import get_model
-from repro.sim.fastmodel import FastReport, analyze_plan, analyze_sharded
+from repro.sim.fastmodel import (
+    FastReport,
+    analyze_plan,
+    analyze_sharded,
+    stream_batched,
+)
 
 #: Axes the paper sweeps in Fig. 6 / Fig. 7.
 MG_SIZES = (4, 8, 12, 16)
@@ -102,6 +107,7 @@ class DesignPoint:
     input_size: int = 224
     num_classes: int = 1000
     chips: int = 1
+    batch: int = 1
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -116,6 +122,15 @@ class DesignPoint:
     def tops(self) -> float:
         return self.report.tops
 
+    @property
+    def throughput_inf_s(self) -> float:
+        """Sustained inferences/second (steady-state streaming rate)."""
+        return self.report.throughput_inf_per_s
+
+    @property
+    def energy_per_inf_mj(self) -> float:
+        return self.report.energy_per_inference_mj
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form used by the CLI exporters (plan is not included)."""
         return {
@@ -126,10 +141,13 @@ class DesignPoint:
             "input_size": self.input_size,
             "num_classes": self.num_classes,
             "chips": self.chips,
+            "batch": self.batch,
             "cycles": self.cycles,
             "time_ms": self.report.time_ms,
             "energy_mj": self.energy_mj,
             "tops": self.tops,
+            "throughput_inf_s": self.throughput_inf_s,
+            "energy_per_inf_mj": self.energy_per_inf_mj,
             "cached": self.cached,
             "energy_groups_mj": self.report.grouped_energy_mj(),
             "report": self.report.to_dict(),
@@ -188,6 +206,7 @@ def evaluate_fast(
     num_classes: int = 1000,
     closure_limit: Optional[int] = None,
     chips: int = 1,
+    batch: int = 1,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
@@ -195,7 +214,12 @@ def evaluate_fast(
     :class:`ExecutionPlan` for inspection (the *first shard's* plan for
     multi-chip points -- ``chips > 1`` pipeline-shards the model and
     composes the per-shard analyses over the inter-chip link model).
+    ``batch > 1`` evaluates the point in throughput mode: a multi-chip
+    pipeline streams the batch (closed-form ``fill + drain + (B-1) *
+    bottleneck`` law), a single chip replays it sequentially.
     """
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
     arch = arch or default_arch()
     graph = _cached_graph(model, input_size, num_classes)
     if chips > 1:
@@ -204,11 +228,13 @@ def evaluate_fast(
             plan_graph(shard.graph, arch, strategy, closure_limit)
             for shard in sharding.shards
         ]
-        report = analyze_sharded(sharding, plans, arch)
+        report = analyze_sharded(sharding, plans, arch, batch=batch)
         plan = plans[0]
     else:
         plan = plan_graph(graph, arch, strategy, closure_limit)
         report = analyze_plan(plan)
+        if batch > 1:
+            report = stream_batched(report, batch)
     return DesignPoint(
         model=model,
         strategy=strategy,
@@ -219,6 +245,7 @@ def evaluate_fast(
         input_size=input_size,
         num_classes=num_classes,
         chips=chips,
+        batch=batch,
     )
 
 
@@ -242,6 +269,7 @@ class PointSpec:
     flit_bytes: Optional[int] = None
     closure_limit: Optional[int] = None
     chips: int = 1
+    batch: int = 1
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -260,6 +288,7 @@ class PointSpec:
             self.num_classes,
             self.closure_limit,
             self.chips,
+            self.batch,
         )
 
 
@@ -269,10 +298,11 @@ class SweepSpec:
 
     Axes with value ``None`` are not varied: the corresponding parameter
     of ``base_arch`` is used unchanged.  ``chip_counts`` is the
-    multi-chip sharding axis (``(1,)`` by default: single chip).
-    ``closure_limit`` bounds the DP partitioner's closure enumeration
-    and may be given per model (Fig. 7 caps EfficientNetB0 at 64 to
-    keep the sweep tractable).
+    multi-chip sharding axis (``(1,)`` by default: single chip);
+    ``batch_sizes`` is the streaming-batch axis (``(1,)`` by default:
+    single-shot latency mode).  ``closure_limit`` bounds the DP
+    partitioner's closure enumeration and may be given per model (Fig. 7
+    caps EfficientNetB0 at 64 to keep the sweep tractable).
     """
 
     models: Tuple[str, ...]
@@ -284,12 +314,13 @@ class SweepSpec:
     base_arch: Optional[ArchConfig] = None
     closure_limit: ClosureLimit = None
     chip_counts: Tuple[int, ...] = (1,)
+    batch_sizes: Tuple[int, ...] = (1,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
-                     "input_sizes", "chip_counts"):
+                     "input_sizes", "chip_counts", "batch_sizes"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -307,6 +338,8 @@ class SweepSpec:
             raise ConfigError("sweep needs at least one input size")
         if not self.chip_counts or any(c <= 0 for c in self.chip_counts):
             raise ConfigError("chip counts must be positive")
+        if not self.batch_sizes or any(b <= 0 for b in self.batch_sizes):
+            raise ConfigError("batch sizes must be positive")
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -320,9 +353,9 @@ class SweepSpec:
         """The cross product, in deterministic order.
 
         Order (outer to inner): model, strategy, input size, chip count,
-        flit width, MG size -- matching the row order of the paper's
-        figure tables (chip count rides between the software and
-        hardware axes).
+        batch size, flit width, MG size -- matching the row order of the
+        paper's figure tables (chip count and batch ride between the
+        software and hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
@@ -331,24 +364,26 @@ class SweepSpec:
             for strategy in self.strategies:
                 for input_size in self.input_sizes:
                     for chips in self.chip_counts:
-                        for flit in flit_axis:
-                            for mg in mg_axis:
-                                out.append(PointSpec(
-                                    model=model,
-                                    strategy=strategy,
-                                    input_size=input_size,
-                                    num_classes=self.num_classes,
-                                    mg_size=mg,
-                                    flit_bytes=flit,
-                                    closure_limit=self.limit_for(model),
-                                    chips=chips,
-                                ))
+                        for batch in self.batch_sizes:
+                            for flit in flit_axis:
+                                for mg in mg_axis:
+                                    out.append(PointSpec(
+                                        model=model,
+                                        strategy=strategy,
+                                        input_size=input_size,
+                                        num_classes=self.num_classes,
+                                        mg_size=mg,
+                                        flit_bytes=flit,
+                                        closure_limit=self.limit_for(model),
+                                        chips=chips,
+                                        batch=batch,
+                                    ))
         return out
 
     def __len__(self) -> int:
         return (
             len(self.models) * len(self.strategies) * len(self.input_sizes)
-            * len(self.chip_counts)
+            * len(self.chip_counts) * len(self.batch_sizes)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -366,6 +401,7 @@ class SweepSpec:
             "num_classes": self.num_classes,
             "closure_limit": limit,
             "chip_counts": list(self.chip_counts),
+            "batch_sizes": list(self.batch_sizes),
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -418,13 +454,17 @@ class SweepResult:
         return out
 
     def best(self, metric: str = "tops") -> DesignPoint:
-        """Best point: highest ``tops``, or lowest ``energy_mj``/``cycles``."""
-        if metric == "tops":
-            return max(self.points, key=lambda p: p.tops)
-        if metric in ("energy_mj", "cycles"):
+        """Best point: highest ``tops``/``throughput_inf_s``, or lowest
+        ``energy_mj``/``energy_per_inf_mj``/``cycles``."""
+        if not self.points:
+            raise ConfigError("sweep has no points; cannot rank an empty sweep")
+        if metric in ("tops", "throughput_inf_s"):
+            return max(self.points, key=lambda p: getattr(p, metric))
+        if metric in ("energy_mj", "energy_per_inf_mj", "cycles"):
             return min(self.points, key=lambda p: getattr(p, metric))
         raise ConfigError(
-            f"unknown metric {metric!r}; expected tops/energy_mj/cycles"
+            f"unknown metric {metric!r}; expected tops/throughput_inf_s/"
+            f"energy_mj/energy_per_inf_mj/cycles"
         )
 
     def pareto_front(self) -> List[DesignPoint]:
@@ -453,23 +493,44 @@ class SweepResult:
         }
 
 
-def _evaluate_spec(pspec: PointSpec, base_arch: ArchConfig) -> DesignPoint:
+def _evaluate_spec(
+    pspec: PointSpec,
+    base_arch: ArchConfig,
+    memo: Optional[Dict[str, FastReport]] = None,
+) -> DesignPoint:
     """Evaluate one point; shared by the serial path and pool workers.
 
     Drops the (large, partly unpicklable) execution plan so results are
     cheap to ship between processes and identical to cache-served points.
+
+    The batch axis is a closed-form rescaling of the batch-independent
+    analysis (:func:`repro.sim.fastmodel.stream_batched`), so ``memo``
+    (keyed by the batch=1 cache key, scoped to one sweep) lets a sweep
+    over ``batch_sizes=(1, 4, 8)`` plan and analyse each base point
+    once and derive the batch variants in O(1) -- bit-identical to
+    evaluating every point from scratch.
     """
-    point = evaluate_fast(
-        pspec.model,
-        pspec.resolve_arch(base_arch),
-        pspec.strategy,
-        pspec.input_size,
-        pspec.num_classes,
-        pspec.closure_limit,
-        pspec.chips,
+    base_key = (
+        replace(pspec, batch=1).cache_key(base_arch)
+        if memo is not None else None
     )
-    point.plan = None
-    return point
+    report = memo.get(base_key) if memo is not None else None
+    if report is None:
+        point = evaluate_fast(
+            pspec.model,
+            pspec.resolve_arch(base_arch),
+            pspec.strategy,
+            pspec.input_size,
+            pspec.num_classes,
+            pspec.closure_limit,
+            pspec.chips,
+        )
+        report = point.report
+        if memo is not None:
+            memo[base_key] = report
+    if pspec.batch > 1:
+        report = stream_batched(report, pspec.batch)
+    return _point_from_report(pspec, base_arch, report, cached=False)
 
 
 def _worker_evaluate(
@@ -511,6 +572,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         input_size=pspec.input_size,
         num_classes=pspec.num_classes,
         chips=pspec.chips,
+        batch=pspec.batch,
         cached=cached,
     )
 
@@ -582,25 +644,50 @@ def run_sweep(
                     "flit_bytes": point.flit_bytes,
                     "closure_limit": pspec.closure_limit,
                     "chips": pspec.chips,
+                    "batch": pspec.batch,
                 },
             )
         finish(index, point)
 
     if stats.workers <= 1 or len(pending) <= 1:
+        memo: Dict[str, FastReport] = {}
         for index, pspec in pending:
-            record(index, pspec, _evaluate_spec(pspec, base))
+            record(index, pspec, _evaluate_spec(pspec, base, memo))
     else:
         by_index = dict(pending)
+        # The batch axis is a closed-form rescaling of the batch=1
+        # analysis, so the pool only ever evaluates *unique base points*
+        # (batch pinned to 1); every pending batch variant is derived
+        # in-parent via stream_batched -- bit-identical to evaluating it
+        # directly, and each base is planned exactly once no matter how
+        # the pool schedules it.
+        groups: Dict[str, List[int]] = {}
+        base_specs: Dict[str, PointSpec] = {}
+        for index, pspec in pending:
+            key = replace(pspec, batch=1).cache_key(base)
+            groups.setdefault(key, []).append(index)
+            base_specs.setdefault(key, replace(pspec, batch=1))
         # Adaptive scheduling: submit expensive points first (stable on
-        # index for determinism); results are re-indexed, so ordering
-        # only affects wall time, never output.
+        # first pending index for determinism); results are re-indexed,
+        # so ordering only affects wall time, never output.
         ordered = sorted(
-            pending, key=lambda item: (-estimate_point_cost(item[1]), item[0])
+            groups,
+            key=lambda key: (
+                -estimate_point_cost(base_specs[key]), groups[key][0]
+            ),
         )
         with ProcessPoolExecutor(max_workers=stats.workers) as pool:
-            jobs = [(index, pspec, base) for index, pspec in ordered]
-            for index, point in pool.map(_worker_evaluate, jobs):
-                record(index, by_index[index], point)
+            jobs = [(job, base_specs[key], base) for job, key in enumerate(ordered)]
+            for job, base_point in pool.map(_worker_evaluate, jobs):
+                for index in groups[ordered[job]]:
+                    pspec = by_index[index]
+                    report = base_point.report
+                    if pspec.batch > 1:
+                        report = stream_batched(report, pspec.batch)
+                    record(
+                        index, pspec,
+                        _point_from_report(pspec, base, report, False),
+                    )
 
     stats.wall_time_s = time.perf_counter() - started
     assert all(pt is not None for pt in results)
@@ -641,6 +728,7 @@ class SpotCheckResult:
             "mg_size": self.point.mg_size,
             "flit_bytes": self.point.flit_bytes,
             "chips": self.point.chips,
+            "batch": self.point.batch,
             "input_size": self.input_size,
             "cycles": int(self.report.cycles),
             "fast_cycles": int(self.fast_cycles),
@@ -694,14 +782,20 @@ def spot_check(
                 closure_limit=spec.limit_for(pt.model),
             )
             fast_cycles = analyze_sharded(
-                compiled.sharding, [c.plan for c in compiled.chips], arch
+                compiled.sharding, [c.plan for c in compiled.chips], arch,
+                batch=pt.batch,
             ).cycles
         else:
             compiled = compile_graph(
                 graph, arch, pt.strategy, closure_limit=spec.limit_for(pt.model)
             )
-            fast_cycles = analyze(compiled.plan).cycles
-        outcome = simulate(compiled, validate=validate, engine=engine)
+            fast = analyze(compiled.plan)
+            if pt.batch > 1:
+                fast = stream_batched(fast, pt.batch)
+            fast_cycles = fast.cycles
+        outcome = simulate(
+            compiled, validate=validate, engine=engine, batch=pt.batch
+        )
         checks.append(SpotCheckResult(
             point=pt,
             input_size=input_size,

@@ -34,7 +34,9 @@ from repro.sim.fastmodel import FastReport
 #: Bump when the fast model's semantics change; invalidates old entries.
 #: v2: multi-chip sharding -- keys carry the chip count and architecture
 #: fingerprints include the inter-chip link block.
-CACHE_SCHEMA_VERSION = 2
+#: v3: batched streaming inference -- keys carry the batch size and
+#: reports carry batch/steady-interval fields.
+CACHE_SCHEMA_VERSION = 3
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -76,14 +78,15 @@ def point_key(
     num_classes: int,
     closure_limit: Optional[int] = None,
     chips: int = 1,
+    batch: int = 1,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
-    key -- including the multi-chip shard count; the architecture
-    contributes through its own content fingerprint so structurally
-    identical :class:`ArchConfig` instances collide (which is exactly
-    what we want).
+    key -- including the multi-chip shard count and the streaming batch
+    size; the architecture contributes through its own content
+    fingerprint so structurally identical :class:`ArchConfig` instances
+    collide (which is exactly what we want).
     """
     material = json.dumps(
         {
@@ -95,6 +98,7 @@ def point_key(
             "num_classes": num_classes,
             "closure_limit": closure_limit,
             "chips": chips,
+            "batch": batch,
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -27,18 +27,29 @@ import numpy as np
 
 from repro.compiler.cost import CostModel
 from repro.compiler.plan import ExecutionPlan
+from repro.errors import ConfigError
 from repro.sim.report import group_energy_mj
 
 
 @dataclass
 class FastReport:
-    """Performance estimate of one plan execution."""
+    """Performance estimate of one plan execution.
+
+    ``batch > 1`` reports cover a whole input stream: ``cycles`` is the
+    stream makespan, energies/MACs sum over every input, and
+    ``steady_interval_cycles`` is the closed-form steady-state
+    completion interval (``0`` means "no streaming analysis ran"; the
+    throughput property then falls back to ``cycles``).
+    ``stage_cycles`` always describes a single input.
+    """
 
     cycles: int
     energy_breakdown_pj: Dict[str, float]
     macs: int
     clock_mhz: int
     stage_cycles: Dict[int, int] = field(default_factory=dict)
+    batch: int = 1
+    steady_interval_cycles: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -59,6 +70,18 @@ class FastReport:
             return 0.0
         return 2.0 * self.macs / seconds / 1e12
 
+    @property
+    def throughput_inf_per_s(self) -> float:
+        """Sustained inferences/second at the steady-state interval."""
+        interval = self.steady_interval_cycles or self.cycles
+        if interval <= 0:
+            return 0.0
+        return self.clock_mhz * 1e6 / interval
+
+    @property
+    def energy_per_inference_mj(self) -> float:
+        return self.total_energy_mj / max(1, self.batch)
+
     def to_dict(self) -> Dict:
         """JSON-safe form (inverse of :meth:`from_dict`).
 
@@ -75,6 +98,8 @@ class FastReport:
             "stage_cycles": {
                 str(k): int(v) for k, v in self.stage_cycles.items()
             },
+            "batch": int(self.batch),
+            "steady_interval_cycles": int(self.steady_interval_cycles),
         }
 
     @classmethod
@@ -88,6 +113,8 @@ class FastReport:
             stage_cycles={
                 int(k): int(v) for k, v in data.get("stage_cycles", {}).items()
             },
+            batch=int(data.get("batch", 1)),
+            steady_interval_cycles=int(data.get("steady_interval_cycles", 0)),
         )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
@@ -169,7 +196,45 @@ def analyze_plan(
     )
 
 
-def analyze_sharded(sharding, plans, arch=None) -> FastReport:
+def stream_batched(report: FastReport, batch: int) -> FastReport:
+    """Closed-form batched continuation of a single-input report.
+
+    The streaming law shared with the cycle-level scheduler
+    (:func:`repro.sim.multichip.steady_state_interval`): the stream
+    makespan is *fill + drain* (the single-input makespan) plus ``(batch
+    - 1)`` steady-state intervals, while energy and MACs scale linearly
+    per input (static energy is time-proportional, so it scales too).
+    A report without a streaming analysis (``steady_interval_cycles ==
+    0``, i.e. a single chip with no pipeline to overlap) degenerates to
+    sequential replay: the interval is one input's makespan and the
+    stream takes ``batch * cycles``.  Either way the derived report is
+    bit-identical to re-running the analysis at ``batch`` -- which is
+    why sweep points can share one batch-independent analysis across
+    the whole batch axis.
+    """
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
+    if report.batch != 1:
+        raise ConfigError(
+            f"stream_batched needs a single-input report, got batch="
+            f"{report.batch} (stacking batched reports would compound "
+            f"energies and MACs)"
+        )
+    interval = report.steady_interval_cycles or report.cycles
+    return FastReport(
+        cycles=report.cycles + (batch - 1) * interval,
+        energy_breakdown_pj={
+            k: v * batch for k, v in report.energy_breakdown_pj.items()
+        },
+        macs=report.macs * batch,
+        clock_mhz=report.clock_mhz,
+        stage_cycles=dict(report.stage_cycles),
+        batch=batch,
+        steady_interval_cycles=interval,
+    )
+
+
+def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
     """Fast-model analysis of a multi-chip sharded execution.
 
     ``sharding`` is a :class:`~repro.compiler.partition.ShardingPlan`
@@ -180,8 +245,19 @@ def analyze_sharded(sharding, plans, arch=None) -> FastReport:
     (:func:`repro.sim.multichip.pipeline_schedule`), and boundary-tensor
     bytes are charged at the inter-chip link energy.  Stage cycles are
     re-keyed as one global sequence (chip order, then stage order).
+
+    With ``batch > 1`` the report covers a streamed input batch under
+    the closed-form throughput law shared with the streaming scheduler:
+    the single-input analysis is extended via :func:`stream_batched`
+    (*fill + drain + (batch - 1) x bottleneck*, linear per-input
+    energy/MACs), so the batch axis never re-runs the per-shard
+    analysis.
     """
-    from repro.sim.multichip import merge_shard_energy, pipeline_schedule
+    from repro.sim.multichip import (
+        merge_shard_energy,
+        pipeline_schedule,
+        steady_state_interval,
+    )
 
     arch = arch or plans[0].arch
     reports = [analyze_plan(plan) for plan in plans]
@@ -194,9 +270,9 @@ def analyze_sharded(sharding, plans, arch=None) -> FastReport:
                 sharding.graph.tensor(tensor).size_bytes,
             ))
     edges.sort()
-    _, _, makespan = pipeline_schedule(
-        [r.cycles for r in reports], edges, arch.interchip
-    )
+    chip_cycles = [r.cycles for r in reports]
+    _, _, makespan = pipeline_schedule(chip_cycles, edges, arch.interchip)
+    interval = steady_state_interval(chip_cycles, edges, arch.interchip)
 
     total_bytes = sum(nbytes for _, _, nbytes in edges)
     energy = merge_shard_energy(
@@ -206,10 +282,13 @@ def analyze_sharded(sharding, plans, arch=None) -> FastReport:
     for report in reports:
         for _, cycles in sorted(report.stage_cycles.items()):
             stage_cycles[len(stage_cycles)] = cycles
-    return FastReport(
+    base = FastReport(
         cycles=makespan,
         energy_breakdown_pj=energy,
         macs=sum(r.macs for r in reports),
         clock_mhz=arch.chip.clock_mhz,
         stage_cycles=stage_cycles,
+        batch=1,
+        steady_interval_cycles=interval,
     )
+    return stream_batched(base, batch) if batch > 1 else base

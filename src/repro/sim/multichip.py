@@ -24,17 +24,87 @@ inter-chip transfers in the fast analytical model
 (:func:`repro.sim.fastmodel.analyze_sharded`), so the two fidelity
 levels share one timing contract.  See ``docs/ARCHITECTURE.md``
 ("Multi-chip sharding").
+
+**Batched streaming** (``docs/ARCHITECTURE.md``, "Batched streaming
+inference"): :meth:`MultiChipSimulator.run_streaming` injects ``B``
+independent inputs into the chip pipeline.  Input ``i+1`` enters shard 0
+while input ``i`` occupies shard 1, so sustained throughput is bounded by
+the *bottleneck* resource (slowest shard or busiest link), not the
+end-to-end makespan.  Each input executes in full per-input isolation --
+fresh chip state, no cross-input carry-over -- so per-input outputs stay
+bit-identical to ``B`` independent single-input runs.
+:func:`streaming_schedule` is the timing recurrence and
+:func:`steady_state_interval` its closed-form steady-state law
+(``makespan(B) = makespan(1) + (B-1) * bottleneck``), shared with
+:func:`repro.sim.fastmodel.analyze_sharded`.
 """
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import ArchConfig, InterChipConfig
+from repro.errors import SimulationError
 from repro.sim.chip import ChipSimulator
 from repro.sim.report import SimulationReport, group_energy_mj
 
 #: (src_chip, dst_chip, nbytes) -- the schedule-level view of a transfer.
 TransferEdge = Tuple[int, int, int]
+
+
+def streaming_schedule(
+    batch_chip_cycles: Sequence[Sequence[int]],
+    transfers: Sequence[TransferEdge],
+    link: InterChipConfig,
+) -> Tuple[List[List[int]], List[List[int]], List[int], int]:
+    """Timing recurrence for ``B`` inputs streamed through the pipeline.
+
+    ``batch_chip_cycles[i][k]`` is chip ``k``'s execution time for input
+    ``i``; ``transfers`` lists the per-input (src, dst, nbytes) edges in
+    schedule order (src < dst).  All inputs are available at cycle 0.
+    Resource constraints:
+
+    - chip ``k`` processes inputs in order: input ``i`` starts once chip
+      ``k`` has finished input ``i-1`` *and* every inbound transfer for
+      input ``i`` has fully arrived;
+    - all transfers of input ``i`` out of a chip depart after that chip
+      finishes input ``i``; transfers sharing a (src, dst) link
+      serialise across the whole stream in (input, schedule) order, each
+      occupying the link for ``serialization_cycles`` and arriving
+      ``transfer_cycles`` after departure.
+
+    Returns ``(starts, finishes, input_finishes, makespan)``: per-input
+    per-chip start/finish cycles, the completion cycle of each input
+    (its last chip finish), and the stream makespan.  With one input
+    this degenerates to :func:`pipeline_schedule` exactly.
+    """
+    n = len(batch_chip_cycles[0]) if batch_chip_cycles else 0
+    link_free: Dict[Tuple[int, int], int] = {}
+    prev_finish = [0] * n
+    all_starts: List[List[int]] = []
+    all_finishes: List[List[int]] = []
+    input_finishes: List[int] = []
+    for chip_cycles in batch_chip_cycles:
+        arrival = [0] * n
+        starts = [0] * n
+        finishes = [0] * n
+        for k in range(n):
+            starts[k] = max(arrival[k], prev_finish[k])
+            finishes[k] = starts[k] + chip_cycles[k]
+            for src, dst, nbytes in transfers:
+                if src != k:
+                    continue
+                depart = max(finishes[k], link_free.get((src, dst), 0))
+                link_free[(src, dst)] = (
+                    depart + link.serialization_cycles(nbytes)
+                )
+                arrive = depart + link.transfer_cycles(nbytes)
+                arrival[dst] = max(arrival[dst], arrive)
+        prev_finish = finishes
+        all_starts.append(starts)
+        all_finishes.append(finishes)
+        input_finishes.append(max(finishes) if finishes else 0)
+    makespan = max(input_finishes) if input_finishes else 0
+    return all_starts, all_finishes, input_finishes, makespan
 
 
 def pipeline_schedule(
@@ -49,25 +119,42 @@ def pipeline_schedule(
     Returns ``(starts, finishes, makespan)`` in cycles.  All transfers
     out of a chip depart after it finishes; transfers sharing a (src,
     dst) link serialise in schedule order; a chip starts once every
-    inbound transfer has fully arrived.
+    inbound transfer has fully arrived.  This is
+    :func:`streaming_schedule` with a single input.
     """
-    n = len(chip_cycles)
-    starts = [0] * n
-    finishes = [0] * n
-    arrival = [0] * n
-    link_free: Dict[Tuple[int, int], int] = {}
-    for k in range(n):
-        starts[k] = max(starts[k], arrival[k])
-        finishes[k] = starts[k] + chip_cycles[k]
-        for src, dst, nbytes in transfers:
-            if src != k:
-                continue
-            depart = max(finishes[k], link_free.get((src, dst), 0))
-            link_free[(src, dst)] = depart + link.serialization_cycles(nbytes)
-            arrive = depart + link.transfer_cycles(nbytes)
-            arrival[dst] = max(arrival[dst], arrive)
-    makespan = max(finishes) if finishes else 0
-    return starts, finishes, makespan
+    starts, finishes, _, makespan = streaming_schedule(
+        [list(chip_cycles)], transfers, link
+    )
+    return starts[0], finishes[0], makespan
+
+
+def steady_state_interval(
+    chip_cycles: Sequence[int],
+    transfers: Sequence[TransferEdge],
+    link: InterChipConfig,
+) -> int:
+    """Closed-form steady-state initiation interval of a streamed batch.
+
+    Once the pipeline is full, consecutive inputs complete exactly one
+    *bottleneck occupancy* apart: every input occupies each chip for its
+    execution time and each (src, dst) link for the serialisation cycles
+    of that link's per-input traffic, so the sustained rate is bounded
+    by the busiest resource.  Link *latency* is a pure delay (it adds to
+    fill, never to the interval).  Both fidelity tiers share this law:
+    ``makespan(B) = makespan(1) + (B-1) * steady_state_interval`` -- the
+    streaming-contract tests assert the recurrence
+    (:func:`streaming_schedule`) reproduces it exactly.
+    """
+    interval = max(chip_cycles) if chip_cycles else 0
+    link_occupancy: Dict[Tuple[int, int], int] = {}
+    for src, dst, nbytes in transfers:
+        link_occupancy[(src, dst)] = (
+            link_occupancy.get((src, dst), 0)
+            + link.serialization_cycles(nbytes)
+        )
+    for occupancy in link_occupancy.values():
+        interval = max(interval, occupancy)
+    return interval
 
 
 def merge_shard_energy(
@@ -94,6 +181,19 @@ def merge_shard_energy(
     return energy
 
 
+def _mean_utilization(
+    reports: Sequence[SimulationReport],
+) -> Dict[str, float]:
+    """Per-unit utilization averaged over the chip pipeline."""
+    utilization: Dict[str, float] = {}
+    for report in reports:
+        for unit, value in report.utilization.items():
+            utilization[unit] = (
+                utilization.get(unit, 0.0) + value / len(reports)
+            )
+    return utilization
+
+
 @dataclass
 class MultiChipReport:
     """Aggregate performance report of one multi-chip pipeline run.
@@ -102,6 +202,15 @@ class MultiChipReport:
     the pipeline makespan, energies are summed across chips plus the
     ``interchip`` link energy) and keeps the per-chip reports and the
     pipeline schedule for inspection.
+
+    Batched streaming runs (``batch > 1``) aggregate the whole stream:
+    ``cycles`` is the stream makespan, energies/MACs/instructions sum
+    over every input, ``input_finishes`` records when each input
+    completed, and ``steady_interval_cycles`` is the closed-form
+    steady-state completion interval (the throughput-mode metric).
+    ``chip_reports`` / ``chip_starts`` / ``chip_finishes`` describe the
+    *first* input's pass through the pipeline (per-input isolation makes
+    every input's per-chip execution identical in timing).
     """
 
     arch: ArchConfig
@@ -116,6 +225,9 @@ class MultiChipReport:
     noc_bytes: int = 0
     noc_byte_hops: int = 0
     utilization: Dict[str, float] = field(default_factory=dict)
+    batch: int = 1
+    input_finishes: List[int] = field(default_factory=list)
+    steady_interval_cycles: int = 0
 
     @property
     def num_chips(self) -> int:
@@ -140,6 +252,19 @@ class MultiChipReport:
             return 0.0
         return 2.0 * self.macs / seconds / 1e12
 
+    @property
+    def throughput_inf_per_s(self) -> float:
+        """Sustained inferences/second at the steady-state interval."""
+        interval = self.steady_interval_cycles or self.cycles
+        seconds = interval * self.arch.chip.cycle_ns / 1e9
+        if seconds <= 0:
+            return 0.0
+        return 1.0 / seconds
+
+    @property
+    def energy_per_inference_mj(self) -> float:
+        return self.total_energy_mj / max(1, self.batch)
+
     def grouped_energy_mj(self) -> Dict[str, float]:
         """Fig. 6 grouping with the inter-chip link as its own bucket."""
         return group_energy_mj(self.energy_breakdown_pj)
@@ -159,6 +284,11 @@ class MultiChipReport:
             "interchip_bytes": int(self.interchip_bytes),
             "noc_bytes": int(self.noc_bytes),
             "noc_byte_hops": int(self.noc_byte_hops),
+            "batch": int(self.batch),
+            "input_finishes": [int(c) for c in self.input_finishes],
+            "steady_interval_cycles": int(self.steady_interval_cycles),
+            "throughput_inf_per_s": self.throughput_inf_per_s,
+            "energy_per_inference_mj": self.energy_per_inference_mj,
             "chip_starts": [int(c) for c in self.chip_starts],
             "chip_finishes": [int(c) for c in self.chip_finishes],
             "utilization": {k: float(v) for k, v in self.utilization.items()},
@@ -179,8 +309,17 @@ class MultiChipReport:
             f"MACs              : {self.macs:,}",
             f"instructions      : {self.instructions:,}",
             f"inter-chip bytes  : {self.interchip_bytes / 1024:.1f} KiB",
-            "pipeline          :",
         ]
+        if self.batch > 1:
+            lines += [
+                f"batch             : {self.batch} inputs streamed",
+                f"steady interval   : {self.steady_interval_cycles:,} "
+                f"cycles/inference",
+                f"sustained rate    : {self.throughput_inf_per_s:,.0f} "
+                f"inferences/s",
+                f"energy/inference  : {self.energy_per_inference_mj:.4f} mJ",
+            ]
+        lines.append("pipeline          :")
         for k, (s, f) in enumerate(zip(self.chip_starts, self.chip_finishes)):
             lines.append(f"  chip {k}: cycles [{s:,}, {f:,})")
         lines.append("energy breakdown  :")
@@ -196,9 +335,19 @@ class MultiChipSimulator:
     def __init__(self, model, engine: Optional[str] = None):
         self.model = model
         self.arch: ArchConfig = model.arch
-        self.chips = [
-            ChipSimulator.from_compiled(compiled, engine=engine)
-            for compiled in model.chips
+        self._engine = engine
+        self.chips = self._fresh_chips()
+
+    def _fresh_chips(self) -> List[ChipSimulator]:
+        """One pristine simulator per shard (reset memory and cores).
+
+        Streaming runs rebuild the chip set per input: per-input
+        isolation is the batching contract (no cross-input state), and it
+        is what keeps batched outputs bit-identical to independent runs.
+        """
+        return [
+            ChipSimulator.from_compiled(compiled, engine=self._engine)
+            for compiled in self.model.chips
         ]
 
     def write_input(self, tensor: Optional[str], data) -> None:
@@ -219,16 +368,15 @@ class MultiChipSimulator:
         raw = self.chips[chip].memory.read_global(address, info.size_bytes)
         return raw.reshape(info.shape)
 
-    def run(self) -> MultiChipReport:
-        """Execute the pipeline and aggregate the per-chip reports.
+    def _execute_pipeline(self) -> List[SimulationReport]:
+        """Run every chip of ``self.chips`` once, moving transfer payloads.
 
         Chips execute in shard order (data dependencies only flow
         forward), each on its own unchanged cycle-level simulator; the
         transfer schedule moves boundary tensors between the chips'
-        global memories and the closed-form link model assembles the
-        pipeline timing.
+        global memories.  Timing is assembled separately by the
+        closed-form link schedule.
         """
-        link = self.arch.interchip
         reports: List[SimulationReport] = []
         for k, chip in enumerate(self.chips):
             reports.append(chip.run())
@@ -239,9 +387,18 @@ class MultiChipSimulator:
                 self.chips[tr.dst_chip].memory.write_global(
                     tr.dst_address, payload
                 )
-        edges = [
+        return reports
+
+    def _transfer_edges(self) -> List[TransferEdge]:
+        return [
             (t.src_chip, t.dst_chip, t.nbytes) for t in self.model.transfers
         ]
+
+    def run(self) -> MultiChipReport:
+        """Execute one input through the pipeline and aggregate reports."""
+        link = self.arch.interchip
+        reports = self._execute_pipeline()
+        edges = self._transfer_edges()
         starts, finishes, makespan = pipeline_schedule(
             [r.cycles for r in reports], edges, link
         )
@@ -250,13 +407,6 @@ class MultiChipSimulator:
         energy = merge_shard_energy(
             [r.energy_breakdown_pj for r in reports], total_bytes, link
         )
-
-        utilization: Dict[str, float] = {}
-        for report in reports:
-            for unit, value in report.utilization.items():
-                utilization[unit] = (
-                    utilization.get(unit, 0.0) + value / len(reports)
-                )
 
         return MultiChipReport(
             arch=self.arch,
@@ -270,5 +420,74 @@ class MultiChipSimulator:
             interchip_bytes=total_bytes,
             noc_bytes=sum(r.noc_bytes for r in reports),
             noc_byte_hops=sum(r.noc_byte_hops for r in reports),
-            utilization=utilization,
+            utilization=_mean_utilization(reports),
+            batch=1,
+            input_finishes=[makespan],
+            steady_interval_cycles=steady_state_interval(
+                [r.cycles for r in reports], edges, link
+            ),
         )
+
+    def run_streaming(
+        self, inputs: Sequence, tensor: Optional[str] = None
+    ) -> Tuple[MultiChipReport, List[Dict[str, "np.ndarray"]]]:
+        """Stream a batch of inputs through the chip pipeline.
+
+        Each input executes in full isolation (fresh chip state per
+        input), so per-input outputs are bit-identical to independent
+        single-input runs; the streaming schedule then overlaps the
+        per-input chip windows -- input ``i+1`` occupies shard 0 while
+        input ``i`` occupies shard 1 -- bounding sustained throughput by
+        the bottleneck resource instead of the makespan.
+
+        Returns ``(report, per_input_outputs)``; ``self.chips`` is left
+        holding the final input's state, so :meth:`read_output` reads the
+        last input afterwards.
+        """
+        if not len(inputs):
+            raise SimulationError("run_streaming needs at least one input")
+        link = self.arch.interchip
+        edges = self._transfer_edges()
+        output_names = list(self.model.graph.outputs)
+        per_input_reports: List[List[SimulationReport]] = []
+        per_input_outputs: List[Dict[str, "np.ndarray"]] = []
+        for data in inputs:
+            # Per-input isolation holds even if run()/run_streaming()
+            # already consumed this simulator's chip state.
+            self.chips = self._fresh_chips()
+            self.write_input(tensor, data)
+            per_input_reports.append(self._execute_pipeline())
+            per_input_outputs.append(
+                {name: self.read_output(name) for name in output_names}
+            )
+
+        batch = len(per_input_reports)
+        starts, finishes, input_finishes, makespan = streaming_schedule(
+            [[r.cycles for r in reports] for reports in per_input_reports],
+            edges, link,
+        )
+        flat = [r for reports in per_input_reports for r in reports]
+        total_bytes = self.model.interchip_bytes() * batch
+        energy = merge_shard_energy(
+            [r.energy_breakdown_pj for r in flat], total_bytes, link
+        )
+        first = per_input_reports[0]
+        return MultiChipReport(
+            arch=self.arch,
+            cycles=makespan,
+            energy_breakdown_pj=energy,
+            macs=sum(r.macs for r in flat),
+            instructions=sum(r.instructions for r in flat),
+            chip_reports=first,
+            chip_starts=starts[0],
+            chip_finishes=finishes[0],
+            interchip_bytes=total_bytes,
+            noc_bytes=sum(r.noc_bytes for r in flat),
+            noc_byte_hops=sum(r.noc_byte_hops for r in flat),
+            utilization=_mean_utilization(first),
+            batch=batch,
+            input_finishes=input_finishes,
+            steady_interval_cycles=steady_state_interval(
+                [r.cycles for r in first], edges, link
+            ),
+        ), per_input_outputs

@@ -13,20 +13,25 @@ architecture file (the user-supplied configuration of Fig. 2); the same
 workflow is available from the command line as ``python -m repro run``.
 With ``chips=N`` the model is pipeline-sharded across ``N`` identical
 chips (``python -m repro run --chips N``); outputs remain bit-exact
-against the golden model either way.  See ``docs/ARCHITECTURE.md`` for
-how this cycle-accurate path relates to the fast-model sweeps in
-:mod:`repro.explore`, and its "Multi-chip sharding" section for the
-shard/transfer contract.
+against the golden model either way.  With ``batch=B`` a stream of
+``B`` independent inputs runs through the configuration (``python -m
+repro run --batch B``): multi-chip pipelines overlap inputs across
+chips (throughput mode), a single chip replays them sequentially, and
+every input is validated bit-exactly in isolation.  See
+``docs/ARCHITECTURE.md`` for how this cycle-accurate path relates to
+the fast-model sweeps in :mod:`repro.explore`, its "Multi-chip
+sharding" section for the shard/transfer contract, and "Batched
+streaming inference" for the throughput-mode contract.
 """
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.config import ArchConfig, default_arch, load_arch
-from repro.errors import CompileError, ValidationError
+from repro.errors import CompileError, ConfigError, ValidationError
 from repro.compiler import (
     CompiledModel,
     MultiChipModel,
@@ -47,6 +52,13 @@ class WorkflowResult:
     ``compiled`` / ``report`` are the single-chip types for ``chips=1``
     runs and :class:`MultiChipModel` / :class:`MultiChipReport` for
     sharded runs; both expose the same latency/energy surface.
+
+    Batched runs (``batch > 1``) always carry a
+    :class:`MultiChipReport` (streamed pipeline for multi-chip,
+    sequential replay for one chip) so every configuration reports the
+    same throughput / energy-per-inference metrics.  ``outputs`` /
+    ``golden`` then describe the first input of the stream;
+    ``per_input_outputs`` holds every input's outputs in order.
     """
 
     compiled: Union[CompiledModel, MultiChipModel]
@@ -54,6 +66,8 @@ class WorkflowResult:
     outputs: Dict[str, np.ndarray]
     golden: Optional[Dict[str, np.ndarray]] = None
     validated: bool = False
+    batch: int = 1
+    per_input_outputs: Optional[List[Dict[str, np.ndarray]]] = None
 
     @property
     def graph(self) -> ComputationGraph:
@@ -104,12 +118,128 @@ def compile_model(
     return compile_graph(graph, resolved, strategy=strategy)
 
 
+def _resolve_batch_inputs(
+    graph: ComputationGraph,
+    input_data,
+    batch: int,
+    seed: int,
+) -> List[np.ndarray]:
+    """Normalise ``input_data`` / ``batch`` into a list of input tensors.
+
+    ``None`` draws ``batch`` reproducible random inputs seeded ``seed``,
+    ``seed + 1``, ... (so input ``i`` of a batched run is bit-identical
+    to an independent run with ``seed=seed+i``); anything shaped like
+    one model input (array or nested list) is a batch of one; a
+    sequence of input-shaped arrays -- a list or a stacked ``(B, *input
+    shape)`` array -- must match ``batch`` (or sets it when ``batch``
+    was left at 1).  Every resolved input is shape-checked against the
+    model's input tensor.
+    """
+    if batch < 1:
+        raise ConfigError(f"batch must be >= 1, got {batch}")
+    if input_data is None:
+        return [random_input(graph, seed=seed + i) for i in range(batch)]
+    expected = tuple(graph.tensor(graph.input_operators[0].output).shape)
+
+    if isinstance(input_data, np.ndarray):
+        whole = input_data
+    else:
+        try:
+            whole = np.asarray(input_data)
+        except ValueError:  # ragged sequence: definitely not one input
+            whole = None
+    if whole is not None and whole.shape == expected:
+        inputs = [whole]  # exactly one model input
+    elif whole is not None and whole.ndim and whole.shape[1:] == expected:
+        inputs = list(whole)  # a stacked batch of inputs
+    elif isinstance(input_data, np.ndarray):
+        inputs = [input_data]  # wrong shape: reported below
+    else:
+        inputs = [np.asarray(item) for item in input_data]
+    if batch == 1 and len(inputs) > 1:
+        batch = len(inputs)
+    if len(inputs) != batch:
+        raise ConfigError(
+            f"batch={batch} but {len(inputs)} input arrays were given"
+        )
+    for index, data in enumerate(inputs):
+        if tuple(data.shape) != expected:
+            raise ConfigError(
+                f"input {index} has shape {tuple(data.shape)}; the model "
+                f"input is {expected}"
+            )
+    return inputs
+
+
+def _input_needs_batch_resolution(
+    graph: ComputationGraph, input_data
+) -> bool:
+    """Should ``input_data`` go through :func:`_resolve_batch_inputs`?
+
+    Any non-array sequence does (lists may be nested single inputs or
+    per-input batches).  A plain ndarray normally takes the legacy
+    single-input path unchecked -- except a stacked ``(B, *input
+    shape)`` array, which is the documented implicit-batch form and
+    must resolve like the equivalent list of ``B`` arrays.
+    """
+    if input_data is None:
+        return False
+    if not isinstance(input_data, np.ndarray):
+        return True
+    expected = tuple(graph.tensor(graph.input_operators[0].output).shape)
+    shape = tuple(input_data.shape)
+    return shape != expected and input_data.ndim >= 1 and shape[1:] == expected
+
+
+def _run_single_chip(
+    compiled: CompiledModel,
+    input_data: np.ndarray,
+    engine: Optional[str],
+) -> Tuple[SimulationReport, Dict[str, np.ndarray]]:
+    """One cycle-accurate single-chip execution: write input, run, read
+    every graph output (shared by the single-shot and batched paths)."""
+    graph = compiled.graph
+    input_tensor = graph.input_operators[0].output
+    sim = ChipSimulator.from_compiled(compiled, engine=engine)
+    sim.memory.write_global(
+        compiled.input_address(input_tensor), np.asarray(input_data, np.int8)
+    )
+    report = sim.run()
+    outputs: Dict[str, np.ndarray] = {}
+    for name in graph.outputs:
+        resolved = compiled.plan.cgraph.resolve(name)
+        info = graph.tensor(name)
+        raw = sim.memory.read_global(
+            compiled.plan.tensor_address[resolved], info.size_bytes
+        )
+        outputs[name] = raw.reshape(info.shape)
+    return report, outputs
+
+
+def _validate_outputs(
+    graph: ComputationGraph,
+    outputs: Dict[str, np.ndarray],
+    golden: Dict[str, np.ndarray],
+    label: str,
+) -> None:
+    """Bit-exact golden-model check (the execution-result check of Fig. 2)."""
+    for name, expected in golden.items():
+        got = outputs[name].reshape(expected.shape)
+        if not np.array_equal(got, expected):
+            bad = int(np.count_nonzero(got != expected))
+            raise ValidationError(
+                f"{graph.name} [{label}]: output {name!r} differs from "
+                f"golden model in {bad}/{expected.size} elements"
+            )
+
+
 def simulate(
     compiled: Union[CompiledModel, MultiChipModel],
     input_data: Optional[np.ndarray] = None,
     validate: bool = True,
     seed: int = 0,
     engine: Optional[str] = None,
+    batch: int = 1,
 ) -> WorkflowResult:
     """Simulate a compiled model on the cycle-level simulator.
 
@@ -125,7 +255,23 @@ def simulate(
     A :class:`MultiChipModel` (from ``compile_model(..., chips=N)``) is
     routed to the multi-chip pipeline scheduler; the functional contract
     (bit-exact golden validation) is unchanged.
+
+    ``batch=B`` streams ``B`` independent inputs through the
+    configuration (throughput mode): a multi-chip pipeline overlaps
+    inputs across chips, a single chip replays them sequentially, and
+    each input is simulated and validated in full isolation.
+    ``input_data`` may then be a sequence of ``B`` arrays (``None``
+    draws seeds ``seed .. seed+B-1``).
     """
+    if batch != 1 or _input_needs_batch_resolution(compiled.graph, input_data):
+        inputs = _resolve_batch_inputs(
+            compiled.graph, input_data, batch, seed
+        )
+        if len(inputs) > 1:
+            return _simulate_batched(
+                compiled, inputs, validate=validate, engine=engine
+            )
+        input_data = inputs[0]
     if isinstance(compiled, MultiChipModel):
         return _simulate_multichip(
             compiled, input_data, validate=validate, seed=seed, engine=engine
@@ -134,34 +280,13 @@ def simulate(
     if input_data is None:
         input_data = random_input(graph, seed=seed)
     input_tensor = graph.input_operators[0].output
-    sim = ChipSimulator.from_compiled(compiled, engine=engine)
-    sim.memory.write_global(
-        compiled.input_address(input_tensor), np.asarray(input_data, np.int8)
-    )
-    report = sim.run()
-
-    outputs: Dict[str, np.ndarray] = {}
-    for name in graph.outputs:
-        resolved = compiled.plan.cgraph.resolve(name)
-        info = graph.tensor(name)
-        raw = sim.memory.read_global(
-            compiled.plan.tensor_address[resolved], info.size_bytes
-        )
-        outputs[name] = raw.reshape(info.shape)
+    report, outputs = _run_single_chip(compiled, input_data, engine)
 
     golden = None
     validated = False
     if validate:
         golden = golden_outputs(graph, {input_tensor: input_data})
-        for name, expected in golden.items():
-            got = outputs[name].reshape(expected.shape)
-            if not np.array_equal(got, expected):
-                bad = int(np.count_nonzero(got != expected))
-                raise ValidationError(
-                    f"{graph.name} [{compiled.plan.strategy}]: output "
-                    f"{name!r} differs from golden model in {bad}/"
-                    f"{expected.size} elements"
-                )
+        _validate_outputs(graph, outputs, golden, compiled.plan.strategy)
         validated = True
     return WorkflowResult(
         compiled=compiled,
@@ -197,15 +322,9 @@ def _simulate_multichip(
     validated = False
     if validate:
         golden = golden_outputs(graph, {input_tensor: input_data})
-        for name, expected in golden.items():
-            got = outputs[name].reshape(expected.shape)
-            if not np.array_equal(got, expected):
-                bad = int(np.count_nonzero(got != expected))
-                raise ValidationError(
-                    f"{graph.name} [{compiled.num_chips} chips]: output "
-                    f"{name!r} differs from golden model in {bad}/"
-                    f"{expected.size} elements"
-                )
+        _validate_outputs(
+            graph, outputs, golden, f"{compiled.num_chips} chips"
+        )
         validated = True
     return WorkflowResult(
         compiled=compiled,
@@ -213,6 +332,97 @@ def _simulate_multichip(
         outputs=outputs,
         golden=golden,
         validated=validated,
+    )
+
+
+def _simulate_batched(
+    compiled: Union[CompiledModel, MultiChipModel],
+    inputs: Sequence[np.ndarray],
+    validate: bool,
+    engine: Optional[str],
+) -> WorkflowResult:
+    """Throughput-mode twin of :func:`simulate` for an input stream.
+
+    A :class:`MultiChipModel` streams the inputs through the chip
+    pipeline (:meth:`MultiChipSimulator.run_streaming`); a single-chip
+    :class:`CompiledModel` replays them sequentially on fresh simulator
+    state per input.  Either way every input executes in full isolation,
+    per-input outputs are bit-identical to independent single-input
+    runs, and the result carries a :class:`MultiChipReport` with the
+    stream's makespan, per-input completion times, steady-state
+    throughput, and energy per inference.
+    """
+    from repro.sim.multichip import (
+        merge_shard_energy,
+        steady_state_interval,
+        streaming_schedule,
+    )
+
+    graph = compiled.graph
+    input_tensor = graph.input_operators[0].output
+    if isinstance(compiled, MultiChipModel):
+        sim = MultiChipSimulator(compiled, engine=engine)
+        report, per_input_outputs = sim.run_streaming(
+            inputs, tensor=input_tensor
+        )
+        label = f"{compiled.num_chips} chips, batch {len(inputs)}"
+    else:
+        # Sequential replay is the one-chip, zero-transfer case of the
+        # streaming law: the same schedule/energy helpers apply.
+        link = compiled.arch.interchip
+        reports = []
+        per_input_outputs = []
+        for data in inputs:
+            report, outputs = _run_single_chip(compiled, data, engine)
+            reports.append(report)
+            per_input_outputs.append(outputs)
+        starts, _, input_finishes, makespan = streaming_schedule(
+            [[r.cycles] for r in reports], [], link
+        )
+        report = MultiChipReport(
+            arch=compiled.arch,
+            cycles=makespan,
+            energy_breakdown_pj=merge_shard_energy(
+                [r.energy_breakdown_pj for r in reports], 0, link
+            ),
+            macs=sum(r.macs for r in reports),
+            instructions=sum(r.instructions for r in reports),
+            chip_reports=[reports[0]],
+            chip_starts=starts[0],
+            chip_finishes=[reports[0].cycles],
+            interchip_bytes=0,
+            noc_bytes=sum(r.noc_bytes for r in reports),
+            noc_byte_hops=sum(r.noc_byte_hops for r in reports),
+            utilization=dict(reports[0].utilization),
+            batch=len(inputs),
+            input_finishes=input_finishes,
+            steady_interval_cycles=steady_state_interval(
+                [reports[0].cycles], [], link
+            ),
+        )
+        label = f"{compiled.plan.strategy}, batch {len(inputs)}"
+
+    golden = None
+    validated = False
+    if validate:
+        for index, (data, outputs) in enumerate(
+            zip(inputs, per_input_outputs)
+        ):
+            expected = golden_outputs(graph, {input_tensor: data})
+            _validate_outputs(
+                graph, outputs, expected, f"{label}, input {index}"
+            )
+            if index == 0:
+                golden = expected
+        validated = True
+    return WorkflowResult(
+        compiled=compiled,
+        report=report,
+        outputs=per_input_outputs[0],
+        golden=golden,
+        validated=validated,
+        batch=len(inputs),
+        per_input_outputs=list(per_input_outputs),
     )
 
 
@@ -225,14 +435,19 @@ def run_workflow(
     seed: int = 0,
     engine: Optional[str] = None,
     chips: int = 1,
+    batch: int = 1,
     **model_kwargs,
 ) -> WorkflowResult:
     """The one-call pipeline: build/compile/simulate/validate/report.
 
     ``chips=N`` pipeline-shards the model across ``N`` identical chips
     (the multi-chip backend); results stay bit-exact vs the golden model.
+    ``batch=B`` streams ``B`` independent inputs through the
+    configuration (throughput mode): input ``i`` uses seed ``seed + i``
+    and validates bit-exactly in isolation.
     """
     compiled = compile_model(model, arch, strategy, chips=chips, **model_kwargs)
     return simulate(
-        compiled, input_data, validate=validate, seed=seed, engine=engine
+        compiled, input_data, validate=validate, seed=seed, engine=engine,
+        batch=batch,
     )

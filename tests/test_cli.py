@@ -136,6 +136,66 @@ class TestReportCommand:
         assert run_cli("report", str(tmp_path / "absent.json")) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_empty_sweep_reports_cleanly(self, tmp_path, capsys):
+        """A well-formed file with zero points must not crash --pareto
+        or the ranked summary (regression: edge case was unhandled)."""
+        out_json = tmp_path / "empty.json"
+        out_json.write_text(json.dumps({"points": [], "spec": {}, "stats": {}}))
+        out_csv = tmp_path / "empty.csv"
+        assert run_cli(
+            "report", str(out_json), "--pareto", "--csv", str(out_csv),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "(no points)" in out
+        assert out_csv.read_text().startswith("model,")
+
+    def test_single_row_pareto_is_that_row(self, tmp_path, capsys):
+        out_json = tmp_path / "one.json"
+        run_cli(
+            "sweep", "--models", "tiny_cnn", "--strategies", "dp",
+            "--input-sizes", "8", "--num-classes", "10", "--preset", "small",
+            "--no-cache", "--quiet", "--json", str(out_json),
+        )
+        capsys.readouterr()
+        assert run_cli("report", str(out_json), "--pareto") == 0
+        out = capsys.readouterr().out
+        assert "(1/1 points non-dominated)" in out
+
+    def test_tied_points_pareto_keeps_one(self, tmp_path, capsys):
+        """Coincident rows collapse to a single front entry."""
+        out_json = tmp_path / "tied.json"
+        row = {
+            "model": "tiny_cnn", "strategy": "dp", "input_size": 8,
+            "chips": 1, "batch": 1, "mg_size": 2, "flit_bytes": 8,
+            "cycles": 100, "time_ms": 0.1, "energy_mj": 1.0, "tops": 2.0,
+            "throughput_inf_s": 10.0, "energy_per_inf_mj": 1.0,
+            "cached": False,
+        }
+        out_json.write_text(json.dumps({"points": [row, dict(row)]}))
+        assert run_cli("report", str(out_json), "--pareto") == 0
+        out = capsys.readouterr().out
+        assert "(1/2 points non-dominated)" in out
+
+    def test_best_metric_missing_from_old_file_is_graceful(
+        self, tmp_path, capsys
+    ):
+        """Pre-batch result files lack the throughput column; ranking by
+        it must exit 2 with a message, not a traceback."""
+        out_json = tmp_path / "old.json"
+        row = {
+            "model": "tiny_cnn", "strategy": "dp", "input_size": 8,
+            "mg_size": 2, "flit_bytes": 8, "cycles": 100, "time_ms": 0.1,
+            "energy_mj": 1.0, "tops": 2.0, "cached": False,
+        }
+        out_json.write_text(json.dumps({"points": [row]}))
+        assert run_cli(
+            "report", str(out_json), "--best", "throughput_inf_s",
+        ) == 2
+        assert "predates" in capsys.readouterr().err
+        # the table itself still renders (missing columns show as '-')
+        assert run_cli("report", str(out_json)) == 0
+        assert " -" in capsys.readouterr().out
+
 
 class TestSpotCheckOption:
     def test_sweep_with_spot_check(self, tmp_path, capsys):

@@ -121,8 +121,11 @@ class TestResultCache:
             point_key("tiny_cnn", arch, "dp", 8, 2, None),
             point_key("tiny_cnn", arch, "dp", 8, 10, 4),
             point_key("tiny_cnn", with_mg_size(arch, 4), "dp", 8, 10, None),
+            point_key("tiny_cnn", arch, "dp", 8, 10, None, chips=2),
+            point_key("tiny_cnn", arch, "dp", 8, 10, None, batch=4),
+            point_key("tiny_cnn", arch, "dp", 8, 10, None, chips=2, batch=4),
         }
-        assert len(keys) == 7
+        assert len(keys) == 10
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -143,6 +146,26 @@ class TestResultCache:
         payload["schema"] = CACHE_SCHEMA_VERSION + 1
         path.write_text(json.dumps(payload))
         assert cache.lookup(key) is None
+
+    def test_schema_bump_invalidates_existing_entries(
+        self, tmp_path, monkeypatch
+    ):
+        """A CACHE_SCHEMA_VERSION bump must orphan every stored entry."""
+        import repro.explore_cache as explore_cache
+
+        cache = ResultCache(tmp_path)
+        report = FastReport(
+            cycles=9, energy_breakdown_pj={"noc": 1.0}, macs=3,
+            clock_mhz=1000,
+        )
+        key = "ab" + "0" * 62
+        cache.store(key, report)
+        assert cache.lookup(key) == report
+        monkeypatch.setattr(
+            explore_cache, "CACHE_SCHEMA_VERSION", CACHE_SCHEMA_VERSION + 1
+        )
+        assert cache.lookup(key) is None
+        assert cache.misses == 1
 
     def test_clear(self, tmp_path):
         cache = ResultCache(tmp_path)
@@ -367,6 +390,32 @@ class TestCacheGC:
         monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
         assert ResultCache(tmp_path).max_bytes == 1024 * 1024
 
+    def test_env_cap_drives_lru_eviction(self, monkeypatch, tmp_path):
+        """End-to-end: REPRO_CACHE_MAX_MB alone caps an env-configured
+        cache, and the oldest entries are the ones evicted."""
+        import os
+        import time
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_MB", "1")
+        cache = ResultCache(tmp_path)  # max_bytes from the environment
+        # ~34 KB per entry so a few dozen stores cross the 1 MB cap
+        # within one GC interval.
+        fat = FastReport(
+            cycles=1, energy_breakdown_pj={}, macs=1, clock_mhz=1000,
+            stage_cycles={i: i for i in range(3000)},
+        )
+        keys = [f"{i:04x}" + "0" * 60 for i in range(40)]
+        past = time.time() - 3600
+        for i, key in enumerate(keys):
+            path = cache.store(key, fat)
+            if i < 20:  # age the first half so LRU order is unambiguous
+                os.utime(path, (past, past))
+        cache.gc()
+        assert cache.size_bytes() <= 1024 * 1024
+        assert cache.evictions > 0
+        assert cache.lookup(keys[-1]) is not None   # newest survives
+        assert cache.lookup(keys[0]) is None        # oldest evicted
+
 
 class TestSpotCheck:
     def test_best_points_revalidated_cycle_accurately(self):
@@ -448,6 +497,40 @@ class TestParetoFront:
     def test_duplicate_coordinates_kept_once(self):
         result = self._result([(1.0, 10.0), (1.0, 10.0)])
         assert len(result.pareto_front()) == 1
+
+    def test_empty_sweep_has_empty_front(self):
+        from repro.explore import pareto_filter
+
+        assert pareto_filter([], lambda p: (0.0, 0.0)) == []
+        result = self._result([])
+        assert result.pareto_front() == []
+
+    def test_empty_sweep_best_raises_config_error(self):
+        from repro.errors import ConfigError
+
+        result = self._result([])
+        with pytest.raises(ConfigError, match="no points"):
+            result.best("tops")
+
+    def test_tied_cost_keeps_only_higher_benefit(self):
+        # Equal energy: the higher-throughput point strictly dominates.
+        result = self._result([(1.0, 10.0), (1.0, 20.0)])
+        front = result.pareto_front()
+        assert [(p.energy_mj, p.tops) for p in front] == [(1.0, 20.0)]
+
+    def test_tied_benefit_keeps_only_lower_cost(self):
+        result = self._result([(2.0, 10.0), (1.0, 10.0)])
+        front = result.pareto_front()
+        assert [(p.energy_mj, p.tops) for p in front] == [(1.0, 10.0)]
+
+    def test_all_points_tied_keeps_exactly_one(self):
+        result = self._result([(1.0, 10.0)] * 5)
+        assert len(result.pareto_front()) == 1
+
+    def test_duplicates_of_a_dominated_point_all_drop(self):
+        result = self._result([(2.0, 5.0), (2.0, 5.0), (1.0, 10.0)])
+        front = result.pareto_front()
+        assert [(p.energy_mj, p.tops) for p in front] == [(1.0, 10.0)]
 
     def test_front_from_real_sweep_is_nonempty_and_nondominated(self):
         result = run_sweep(tiny_spec())

@@ -23,6 +23,41 @@ class TestCondensation:
         roles = [ni.role for ni in conv2.inputs]
         assert "residual" in roles
 
+    def test_residual_aliasing_node_input_blocks_fusion(self):
+        """add(relu(conv(x)), x) must keep the add standalone.
+
+        Regression (found by the engine-equivalence fuzzer): fusing the
+        add into the conv node would make tensor ``x`` feed two buffer
+        roles (main + residual) of one node, and a same-stage producer's
+        row stream cannot serve two differently-paced readers over one
+        channel -- rows land in the wrong buffers and outputs corrupt.
+        """
+        b = GraphBuilder("aliased_residual", seed=1)
+        x = b.input((8, 8, 4))
+        p = b.maxpool(x, 2, 2, name="pool")
+        y = b.conv(p, 4, 3, 1, 1, name="conv")
+        y = b.relu(y, name="relu")
+        y = b.add(y, p, name="add")
+        b.output(y)
+        cg = condense(b.build())
+        add = next(n for n in cg.nodes if n.anchor.kind is OpKind.ADD)
+        assert add.name == "add"  # standalone, not fused into conv
+        conv = next(n for n in cg.nodes if n.name == "conv")
+        assert OpKind.ADD not in [op.kind for op in conv.fused]
+
+    def test_aliased_residual_graph_validates_bit_exactly(self, arch):
+        from repro import run_workflow
+
+        b = GraphBuilder("aliased_residual_e2e", seed=2)
+        x = b.input((8, 8, 4))
+        p = b.maxpool(x, 2, 2, name="pool")
+        y = b.conv(p, 4, 3, 1, 1, name="conv")
+        y = b.relu(y, name="relu")
+        y = b.add(y, p, name="add")
+        b.output(y)
+        result = run_workflow(b.build(), arch=arch, strategy="dp")
+        assert result.validated
+
     def test_pool_is_standalone_vector_node(self):
         cg = condense(get_model("tiny_cnn"))
         pool = next(n for n in cg.nodes if n.anchor.kind is OpKind.MAXPOOL)
