@@ -1,31 +1,39 @@
-"""Quickstart: the out-of-the-box CIMFlow workflow in a dozen lines.
+"""Quickstart: deploy a model and serve it in a dozen lines.
 
-Builds a small residual CNN, compiles it with the DP-based strategy for a
-compact digital CIM chip, runs the cycle-accurate simulator, validates the
-INT8 outputs bit-exactly against the golden NumPy model, and prints the
-performance report.
+Builds a small residual CNN, compiles it once for a compact digital CIM
+chip with the DP-based strategy (a :class:`repro.Deployment` owns the
+compiled model), runs one cycle-accurate inference with bit-exact golden
+validation, then serves a 16-input stream offered at a fixed arrival
+rate and prints the latency percentiles.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import run_workflow
+from repro import Deployment, FixedRate
 from repro.config import small_test_arch
 
 
 def main() -> None:
-    result = run_workflow(
-        "tiny_resnet",          # model-zoo name (or pass a ComputationGraph)
-        arch=small_test_arch(),  # 4 cores, small macro groups
-        strategy="dp",          # Algorithm 1: DP partitioning + duplication
+    deployment = Deployment(
+        "tiny_resnet",           # model-zoo name (or a ComputationGraph)
+        small_test_arch(),       # 4 cores, small macro groups
+        strategy="dp",           # Algorithm 1: DP partitioning + duplication
     )
 
-    plan = result.compiled.plan
-    print(f"model     : {result.graph.summary()}")
+    # Classic latency mode: one input, Fig. 2 workflow.
+    result = deployment.run()
+    plan = deployment.compiled.plan
+    print(f"model     : {deployment.graph.summary()}")
     print(f"plan      : {plan.num_stages} stages, "
           f"max duplication x{plan.max_replication}")
     print(f"validated : {result.validated} (bit-exact vs golden model)")
     print()
     print(result.report)
+    print()
+
+    # Serving mode: the same compiled model, continuous arrivals.
+    report = deployment.submit(batch=16, arrivals=FixedRate(200_000))
+    print(report)
 
 
 if __name__ == "__main__":

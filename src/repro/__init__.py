@@ -18,13 +18,19 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
 - :mod:`repro.sim`     -- the cycle-accurate multi-core simulator with NoC
   and energy models, the functional golden model, and the fast analytical
   model.
-- :mod:`repro.workflow` -- the out-of-the-box `compile -> simulate -> report`
-  pipeline.
+- :mod:`repro.serve`   -- the serving API and primary entry point: a
+  :class:`~repro.serve.Deployment` compiles once and serves many
+  submissions under an explicit :class:`~repro.serve.ArrivalProcess`
+  (back-to-back, fixed-rate, Poisson, recorded trace), reporting
+  latency percentiles and per-shard utilisation.
+- :mod:`repro.workflow` -- the legacy one-shot `compile -> simulate ->
+  report` pipeline (deprecated shims over :mod:`repro.serve`, kept
+  working).
 - :mod:`repro.explore` -- the design-space exploration engine: declarative
   :class:`~repro.explore.SweepSpec` cross products, parallel execution and
   the on-disk result cache (:mod:`repro.explore_cache`).
 - :mod:`repro.cli`     -- the ``python -m repro`` command line
-  (`run` / `sweep` / `compare` / `report`).
+  (`run` / `serve` / `sweep` / `compare` / `report`).
 
 See ``README.md`` for a quickstart and ``docs/ARCHITECTURE.md`` for the
 compilation/simulation stack in detail.
@@ -61,6 +67,7 @@ from repro.sim.fastmodel import (
     FastReport,
     analyze_plan,
     analyze_sharded,
+    serve_arrivals,
     stream_batched,
 )
 from repro.sim.multichip import (
@@ -70,6 +77,16 @@ from repro.sim.multichip import (
     streaming_schedule,
 )
 from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
+from repro.serve import (
+    ArrivalProcess,
+    BackToBack,
+    Deployment,
+    FixedInterval,
+    FixedRate,
+    PoissonArrivals,
+    ServeReport,
+    TraceArrivals,
+)
 
 __version__ = "0.1.0"
 
@@ -78,6 +95,15 @@ __all__ = [
     "EnergyConfig",
     "InterChipConfig",
     "default_arch",
+    "Deployment",
+    "ServeReport",
+    "ArrivalProcess",
+    "BackToBack",
+    "FixedInterval",
+    "FixedRate",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "serve_arrivals",
     "compile_model",
     "compile_sharded",
     "shard_graph",

@@ -1,16 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands expose the out-of-the-box workflow and the design-space
+Five subcommands expose the serving API and the design-space
 exploration engine without writing any Python:
 
 - ``run``     -- compile one model and execute it on the cycle-accurate
   simulator, validating against the golden model (Fig. 2 workflow);
   ``--chips N`` pipeline-shards the model across N chips, ``--batch B``
   streams B inputs through it (throughput mode);
+- ``serve``   -- deploy one model (compile once) and drive it with a
+  stream of inputs under an explicit arrival process (``--rate`` /
+  ``--interval`` / ``--poisson`` / ``--trace``), reporting p50/p95/p99
+  latency, queueing delay, per-shard utilisation and sustained
+  throughput; ``--tier fast`` prices the same schedule analytically;
 - ``sweep``   -- evaluate a cross-product design space with the fast
   analytical model, in parallel and through the on-disk result cache
   (``--chips`` adds the multi-chip axis, ``--batch`` the streaming
-  batch axis);
+  batch axis, ``--arrival-rates`` the serving axis; an interrupted
+  sweep resumes mid-cross-product via the sweep manifest);
 - ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
   per compilation strategy);
 - ``report``  -- re-render / convert a saved ``sweep --json`` file
@@ -19,6 +25,8 @@ exploration engine without writing any Python:
 Examples::
 
     python -m repro run tiny_resnet --preset small --chips 2
+    python -m repro serve tiny_resnet --preset small --chips 2 \\
+        --batch 16 --rate 200000
     python -m repro sweep --models resnet18 --strategies generic,dp \\
         --mg-sizes 4,8,12,16 --flit-sizes 8,16 --workers 4 --json out.json
     python -m repro compare --models resnet18,mobilenetv2
@@ -43,13 +51,15 @@ from repro.graph.models import available_models
 _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
-    "model", "strategy", "input_size", "chips", "batch", "mg_size",
-    "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
-    "throughput_inf_s", "energy_per_inf_mj", "cached",
+    "model", "strategy", "input_size", "chips", "batch", "arrival_rate",
+    "mg_size", "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
+    "throughput_inf_s", "energy_per_inf_mj",
+    "p50_latency_ms", "p95_latency_ms", "p99_latency_ms", "cached",
 )
 
 #: Fallbacks for sweep-result rows written before the column existed
-#: (pre-batch files lack batch/throughput/energy-per-inference).
+#: (pre-batch files lack batch/throughput/energy-per-inference,
+#: pre-serve files lack arrival-rate/latency-percentile columns).
 _COLUMN_DEFAULTS = {"chips": 1, "batch": 1}
 
 _BEST_METRICS = (
@@ -73,6 +83,23 @@ def _int_list(value: str) -> List[int]:
         raise argparse.ArgumentTypeError(
             f"expected comma-separated integers, got {value!r}"
         )
+
+
+def _rate_list(value: str) -> List[Optional[float]]:
+    """Comma-separated arrival rates; ``none`` keeps back-to-back mode."""
+    out: List[Optional[float]] = []
+    for item in _split_csv(value):
+        if item.lower() == "none":
+            out.append(None)
+            continue
+        try:
+            out.append(float(item))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated rates (inf/s) or 'none', "
+                f"got {item!r}"
+            )
+    return out
 
 
 def _closure_limit(value: str):
@@ -126,20 +153,22 @@ def _optional_cell(row: Dict[str, Any], key: str, fmt: str, width: int) -> str:
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
     header = (
         f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'B':>4s}"
-        f"{'MG':>4s}{'flit':>6s}"
+        f"{'rate/s':>9s}{'MG':>4s}{'flit':>6s}"
         f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}"
-        f"{'inf/s':>11s}{'mJ/inf':>9s}{'cache':>7s}"
+        f"{'inf/s':>11s}{'mJ/inf':>9s}{'p99 ms':>9s}{'cache':>7s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
             f"{row.get('chips', 1):>6d}{row.get('batch', 1):>4d}"
+            f"{_optional_cell(row, 'arrival_rate', ',.0f', 9)}"
             f"{row['mg_size']:>4d}{row['flit_bytes']:>6d}"
             f"{row['cycles']:>12,d}{row['time_ms']:>9.2f}"
             f"{row['energy_mj']:>9.2f}{row['tops']:>8.2f}"
             f"{_optional_cell(row, 'throughput_inf_s', ',.0f', 11)}"
             f"{_optional_cell(row, 'energy_per_inf_mj', '.2f', 9)}"
+            f"{_optional_cell(row, 'p99_latency_ms', '.3f', 9)}"
             f"{'hit' if row.get('cached') else '-':>7s}"
         )
     return "\n".join(lines)
@@ -164,31 +193,44 @@ def _write_json(payload: Dict[str, Any], path: str) -> None:
 # Subcommands
 # ---------------------------------------------------------------------------
 
-def _cmd_run(args) -> int:
-    from repro.workflow import run_workflow
+def _build_deployment(args, tier: str = "cyclesim"):
+    from repro.serve import Deployment
 
-    result = run_workflow(
+    return Deployment(
         args.model,
         arch=_resolve_arch(args),
-        strategy=args.strategy,
-        validate=not args.no_validate,
-        seed=args.seed,
         chips=args.chips,
-        batch=args.batch,
+        strategy=args.strategy,
+        tier=tier,
         input_size=args.input_size,
         num_classes=args.num_classes,
     )
-    print(result.compiled.summary())
-    if not args.no_validate:
-        if result.batch > 1:
+
+
+def _cmd_run(args) -> int:
+    deployment = _build_deployment(args)
+    validate = not args.no_validate
+    if args.batch > 1:
+        serve = deployment.submit(
+            batch=args.batch, seed=args.seed, validate=validate
+        )
+        report = serve.stream_report
+        validated = serve.validated
+    else:
+        result = deployment.run(seed=args.seed, validate=validate)
+        report = result.report
+        validated = result.validated
+    print(deployment.summary())
+    if validate:
+        if args.batch > 1:
             print(
                 f"validated : bit-exact vs golden model "
-                f"({result.batch} inputs, each in isolation)"
+                f"({args.batch} inputs, each in isolation)"
             )
         else:
             print("validated : bit-exact vs golden model")
     print()
-    print(result.report)
+    print(report)
     if args.json:
         _write_json(
             {
@@ -198,8 +240,74 @@ def _cmd_run(args) -> int:
                 "num_classes": args.num_classes,
                 "chips": args.chips,
                 "batch": args.batch,
-                "validated": result.validated,
-                "report": result.report.to_dict(),
+                "validated": validated,
+                "report": report.to_dict(),
+            },
+            args.json,
+        )
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+def _read_trace(path: str) -> List[int]:
+    """Release cycles from a trace file: JSON array or whitespace ints."""
+    text = Path(path).read_text().strip()
+    if not text:
+        return []
+    if text.startswith("["):
+        return [int(c) for c in json.loads(text)]
+    return [int(token) for token in text.split()]
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import (
+        BackToBack,
+        FixedInterval,
+        FixedRate,
+        PoissonArrivals,
+        TraceArrivals,
+    )
+
+    batch = args.batch
+    if args.trace is not None:
+        trace = _read_trace(args.trace)
+        arrivals = TraceArrivals(trace)
+        batch = len(trace)
+    elif args.poisson is not None:
+        arrivals = PoissonArrivals(args.poisson, seed=args.arrival_seed)
+    elif args.rate is not None:
+        arrivals = FixedRate(args.rate)
+    elif args.interval is not None:
+        arrivals = FixedInterval(args.interval)
+    else:
+        arrivals = BackToBack()
+
+    deployment = _build_deployment(args, tier=args.tier)
+    print(deployment.summary())
+    print()
+    if batch == 0:
+        report = deployment.run_trace([])
+    else:
+        report = deployment.submit(
+            batch=batch, arrivals=arrivals, seed=args.seed,
+            validate=not args.no_validate,
+        )
+    if report.validated:
+        print(
+            f"validated : bit-exact vs golden model "
+            f"({report.batch} inputs, each in isolation)"
+        )
+        print()
+    print(report)
+    if args.json:
+        _write_json(
+            {
+                "model": args.model,
+                "strategy": args.strategy,
+                "input_size": args.input_size,
+                "num_classes": args.num_classes,
+                "chips": args.chips,
+                "report": report.to_dict(),
             },
             args.json,
         )
@@ -242,6 +350,7 @@ def _cmd_sweep(args) -> int:
         closure_limit=args.closure_limit,
         chip_counts=tuple(args.chips),
         batch_sizes=tuple(args.batch),
+        arrival_rates=tuple(args.arrival_rates),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -249,6 +358,7 @@ def _cmd_sweep(args) -> int:
         workers=args.workers,
         cache=cache,
         progress=_progress_printer(args.quiet),
+        resume=not args.no_resume,
     )
     rows = [pt.to_dict() for pt in result.points]
     print()
@@ -260,6 +370,11 @@ def _cmd_sweep(args) -> int:
         f"{stats.evaluated} evaluated, {stats.cache_hits} cache hits "
         f"({100 * stats.hit_rate:.0f}%)"
     )
+    if stats.resumed_points:
+        print(
+            f"resumed: {stats.resumed_points} points completed by a "
+            f"previous interrupted run of this sweep"
+        )
     if cache is not None:
         print(f"cache: {cache.root} ({len(cache)} entries)")
     checks = []
@@ -444,6 +559,54 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", metavar="FILE", help="write the report as JSON")
     run.set_defaults(func=_cmd_run)
 
+    # serve -----------------------------------------------------------------
+    serve = sub.add_parser(
+        "serve",
+        help="deploy one model and stream inputs through it under an "
+             "arrival process (latency percentiles, utilisation)",
+    )
+    serve.add_argument(
+        "model", help=f"model zoo name ({', '.join(available_models())})"
+    )
+    _add_arch_options(serve)
+    serve.add_argument("--strategy", default="dp",
+                       choices=("generic", "duplication", "dp"))
+    serve.add_argument("--chips", type=int, default=1, metavar="N",
+                       help="pipeline-shard the deployment across N chips")
+    serve.add_argument("--batch", type=int, default=8, metavar="B",
+                       help="number of inputs to submit (default 8; "
+                            "ignored with --trace, which sets it)")
+    arrival = serve.add_mutually_exclusive_group()
+    arrival.add_argument("--rate", type=float, default=None, metavar="INF_S",
+                         help="fixed-rate arrivals in inferences/second "
+                              "(default: back-to-back)")
+    arrival.add_argument("--interval", type=int, default=None, metavar="CYC",
+                         help="fixed arrival interval in cycles")
+    arrival.add_argument("--poisson", type=float, default=None,
+                         metavar="INF_S",
+                         help="Poisson arrivals at a mean rate "
+                              "(seeded by --arrival-seed)")
+    arrival.add_argument("--trace", metavar="FILE", default=None,
+                         help="recorded arrival trace: JSON array or "
+                              "whitespace-separated release cycles")
+    serve.add_argument("--arrival-seed", type=int, default=0,
+                       help="seed for --poisson arrival draws")
+    serve.add_argument("--tier", choices=("cyclesim", "fast"),
+                       default="cyclesim",
+                       help="cyclesim = exact execution + bit-exact "
+                            "validation; fast = analytical pricing of the "
+                            "same schedule (paper-scale models)")
+    serve.add_argument("--input-size", type=int, default=32,
+                       help="input resolution (keep small on cyclesim)")
+    serve.add_argument("--num-classes", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0,
+                       help="seed for the random input tensors")
+    serve.add_argument("--no-validate", action="store_true",
+                       help="skip the golden-model output checks")
+    serve.add_argument("--json", metavar="FILE",
+                       help="write the serving report as JSON")
+    serve.set_defaults(func=_cmd_serve)
+
     # sweep -----------------------------------------------------------------
     sweep = sub.add_parser(
         "sweep",
@@ -469,6 +632,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="B[,B...]",
                        help="streaming batch sizes to sweep (throughput "
                             "mode; default: single-shot latency)")
+    sweep.add_argument("--arrival-rates", type=_rate_list, default=[None],
+                       metavar="R[,R...]",
+                       help="arrival rates (inferences/s) to sweep through "
+                            "the serving queueing law; 'none' = "
+                            "back-to-back (the default)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",
@@ -481,6 +649,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"result cache location (default: {default_cache_dir()})")
     sweep.add_argument("--no-cache", action="store_true",
                        help="evaluate every point, bypassing the cache")
+    sweep.add_argument("--no-resume", action="store_true",
+                       help="ignore (and do not write) the sweep-level "
+                            "resume manifest")
     sweep.add_argument("--spot-check", type=int, default=0, metavar="N",
                        help="re-run the best N points on the cycle-accurate "
                             "simulator to bound fast-model error")

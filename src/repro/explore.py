@@ -54,13 +54,19 @@ from repro.compiler.partition import shard_graph
 from repro.compiler.pipeline import plan_graph
 from repro.compiler.plan import ExecutionPlan
 from repro.errors import ConfigError
-from repro.explore_cache import ResultCache, point_key
+from repro.explore_cache import (
+    ResultCache,
+    SweepManifest,
+    point_key,
+    sweep_fingerprint,
+)
 from repro.graph.graph import ComputationGraph
 from repro.graph.models import get_model
 from repro.sim.fastmodel import (
     FastReport,
     analyze_plan,
     analyze_sharded,
+    serve_arrivals,
     stream_batched,
 )
 
@@ -108,6 +114,7 @@ class DesignPoint:
     num_classes: int = 1000
     chips: int = 1
     batch: int = 1
+    arrival_rate: Optional[float] = None
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -131,6 +138,28 @@ class DesignPoint:
     def energy_per_inf_mj(self) -> float:
         return self.report.energy_per_inference_mj
 
+    def _cycles_to_ms(self, cycles: int) -> float:
+        return cycles / (self.report.clock_mhz * 1e3)
+
+    @property
+    def p50_latency_ms(self) -> Optional[float]:
+        """p50 serving latency (arrival-rate points only, else ``None``)."""
+        if self.arrival_rate is None:
+            return None
+        return self._cycles_to_ms(self.report.p50_latency_cycles)
+
+    @property
+    def p95_latency_ms(self) -> Optional[float]:
+        if self.arrival_rate is None:
+            return None
+        return self._cycles_to_ms(self.report.p95_latency_cycles)
+
+    @property
+    def p99_latency_ms(self) -> Optional[float]:
+        if self.arrival_rate is None:
+            return None
+        return self._cycles_to_ms(self.report.p99_latency_cycles)
+
     def to_dict(self) -> Dict[str, Any]:
         """JSON-safe form used by the CLI exporters (plan is not included)."""
         return {
@@ -142,12 +171,16 @@ class DesignPoint:
             "num_classes": self.num_classes,
             "chips": self.chips,
             "batch": self.batch,
+            "arrival_rate": self.arrival_rate,
             "cycles": self.cycles,
             "time_ms": self.report.time_ms,
             "energy_mj": self.energy_mj,
             "tops": self.tops,
             "throughput_inf_s": self.throughput_inf_s,
             "energy_per_inf_mj": self.energy_per_inf_mj,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
             "cached": self.cached,
             "energy_groups_mj": self.report.grouped_energy_mj(),
             "report": self.report.to_dict(),
@@ -198,6 +231,13 @@ def _cached_graph(model: str, input_size: int, num_classes: int) -> ComputationG
     return _graph_cache[key]
 
 
+def _rate_releases(arch: ArchConfig, rate: float, batch: int) -> List[int]:
+    """Fixed-rate release cycles for an ``arrival_rate`` sweep point."""
+    from repro.serve import FixedRate
+
+    return FixedRate(rate).release_cycles(batch, arch.chip.cycle_ns)
+
+
 def evaluate_fast(
     model: str,
     arch: Optional[ArchConfig] = None,
@@ -207,6 +247,7 @@ def evaluate_fast(
     closure_limit: Optional[int] = None,
     chips: int = 1,
     batch: int = 1,
+    arrival_rate: Optional[float] = None,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
@@ -217,6 +258,10 @@ def evaluate_fast(
     ``batch > 1`` evaluates the point in throughput mode: a multi-chip
     pipeline streams the batch (closed-form ``fill + drain + (B-1) *
     bottleneck`` law), a single chip replays it sequentially.
+    ``arrival_rate`` (inferences/s) instead releases the batch at a
+    fixed rate through the serving queueing law
+    (:func:`repro.sim.fastmodel.serve_arrivals`), adding latency
+    percentiles to the report.
     """
     if batch < 1:
         raise ConfigError(f"batch must be >= 1, got {batch}")
@@ -228,13 +273,18 @@ def evaluate_fast(
             plan_graph(shard.graph, arch, strategy, closure_limit)
             for shard in sharding.shards
         ]
-        report = analyze_sharded(sharding, plans, arch, batch=batch)
+        report = analyze_sharded(sharding, plans, arch)
         plan = plans[0]
     else:
         plan = plan_graph(graph, arch, strategy, closure_limit)
         report = analyze_plan(plan)
-        if batch > 1:
-            report = stream_batched(report, batch)
+    if arrival_rate is not None:
+        report = serve_arrivals(
+            report, _rate_releases(arch, arrival_rate, batch),
+            arch.interchip, arrival_rate_inf_s=arrival_rate,
+        )
+    elif batch > 1:
+        report = stream_batched(report, batch)
     return DesignPoint(
         model=model,
         strategy=strategy,
@@ -246,6 +296,7 @@ def evaluate_fast(
         num_classes=num_classes,
         chips=chips,
         batch=batch,
+        arrival_rate=arrival_rate,
     )
 
 
@@ -270,6 +321,7 @@ class PointSpec:
     closure_limit: Optional[int] = None
     chips: int = 1
     batch: int = 1
+    arrival_rate: Optional[float] = None
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -289,6 +341,7 @@ class PointSpec:
             self.closure_limit,
             self.chips,
             self.batch,
+            self.arrival_rate,
         )
 
 
@@ -300,9 +353,12 @@ class SweepSpec:
     of ``base_arch`` is used unchanged.  ``chip_counts`` is the
     multi-chip sharding axis (``(1,)`` by default: single chip);
     ``batch_sizes`` is the streaming-batch axis (``(1,)`` by default:
-    single-shot latency mode).  ``closure_limit`` bounds the DP
-    partitioner's closure enumeration and may be given per model (Fig. 7
-    caps EfficientNetB0 at 64 to keep the sweep tractable).
+    single-shot latency mode); ``arrival_rates`` is the serving axis
+    (inferences/s offered at a fixed rate -- ``(None,)`` by default:
+    back-to-back batched mode; rate points add p50/p95/p99 latency to
+    the report).  ``closure_limit`` bounds the DP partitioner's closure
+    enumeration and may be given per model (Fig. 7 caps EfficientNetB0
+    at 64 to keep the sweep tractable).
     """
 
     models: Tuple[str, ...]
@@ -315,12 +371,14 @@ class SweepSpec:
     closure_limit: ClosureLimit = None
     chip_counts: Tuple[int, ...] = (1,)
     batch_sizes: Tuple[int, ...] = (1,)
+    arrival_rates: Tuple[Optional[float], ...] = (None,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
-                     "input_sizes", "chip_counts", "batch_sizes"):
+                     "input_sizes", "chip_counts", "batch_sizes",
+                     "arrival_rates"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -340,6 +398,12 @@ class SweepSpec:
             raise ConfigError("chip counts must be positive")
         if not self.batch_sizes or any(b <= 0 for b in self.batch_sizes):
             raise ConfigError("batch sizes must be positive")
+        if not self.arrival_rates or any(
+            r is not None and r <= 0 for r in self.arrival_rates
+        ):
+            raise ConfigError(
+                "arrival rates must be positive (None = back-to-back)"
+            )
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -353,9 +417,9 @@ class SweepSpec:
         """The cross product, in deterministic order.
 
         Order (outer to inner): model, strategy, input size, chip count,
-        batch size, flit width, MG size -- matching the row order of the
-        paper's figure tables (chip count and batch ride between the
-        software and hardware axes).
+        batch size, arrival rate, flit width, MG size -- matching the
+        row order of the paper's figure tables (the serving axes ride
+        between the software and hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
@@ -365,25 +429,30 @@ class SweepSpec:
                 for input_size in self.input_sizes:
                     for chips in self.chip_counts:
                         for batch in self.batch_sizes:
-                            for flit in flit_axis:
-                                for mg in mg_axis:
-                                    out.append(PointSpec(
-                                        model=model,
-                                        strategy=strategy,
-                                        input_size=input_size,
-                                        num_classes=self.num_classes,
-                                        mg_size=mg,
-                                        flit_bytes=flit,
-                                        closure_limit=self.limit_for(model),
-                                        chips=chips,
-                                        batch=batch,
-                                    ))
+                            for rate in self.arrival_rates:
+                                for flit in flit_axis:
+                                    for mg in mg_axis:
+                                        out.append(PointSpec(
+                                            model=model,
+                                            strategy=strategy,
+                                            input_size=input_size,
+                                            num_classes=self.num_classes,
+                                            mg_size=mg,
+                                            flit_bytes=flit,
+                                            closure_limit=self.limit_for(
+                                                model
+                                            ),
+                                            chips=chips,
+                                            batch=batch,
+                                            arrival_rate=rate,
+                                        ))
         return out
 
     def __len__(self) -> int:
         return (
             len(self.models) * len(self.strategies) * len(self.input_sizes)
             * len(self.chip_counts) * len(self.batch_sizes)
+            * len(self.arrival_rates)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -402,6 +471,7 @@ class SweepSpec:
             "closure_limit": limit,
             "chip_counts": list(self.chip_counts),
             "batch_sizes": list(self.batch_sizes),
+            "arrival_rates": list(self.arrival_rates),
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -413,12 +483,19 @@ class SweepSpec:
 
 @dataclass
 class SweepStats:
-    """Bookkeeping of one :func:`run_sweep` execution."""
+    """Bookkeeping of one :func:`run_sweep` execution.
+
+    ``resumed_points`` counts cache hits whose keys a previous
+    *interrupted* run of the same spec had journalled in the sweep
+    manifest -- i.e. how far through the cross product the restart
+    picked up.
+    """
 
     total_points: int = 0
     evaluated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    resumed_points: int = 0
     workers: int = 1
     wall_time_s: float = 0.0
 
@@ -493,6 +570,36 @@ class SweepResult:
         }
 
 
+def _derive_report(
+    pspec: PointSpec, base_arch: ArchConfig, report: FastReport
+) -> FastReport:
+    """Closed-form serving/batch continuation of a base (batch=1) report.
+
+    Arrival-rate points go through the serving queueing law
+    (:func:`repro.sim.fastmodel.serve_arrivals`, fixed-rate releases);
+    plain batch points through the PR-4 streaming law
+    (:func:`stream_batched`).  Either way the derivation is
+    bit-identical to evaluating the point from scratch, which is what
+    lets one base analysis serve a whole batch x rate sub-grid.
+    """
+    if pspec.arrival_rate is not None:
+        arch = pspec.resolve_arch(base_arch)
+        return serve_arrivals(
+            report,
+            _rate_releases(arch, pspec.arrival_rate, pspec.batch),
+            arch.interchip,
+            arrival_rate_inf_s=pspec.arrival_rate,
+        )
+    if pspec.batch > 1:
+        return stream_batched(report, pspec.batch)
+    return report
+
+
+def _base_spec(pspec: PointSpec) -> PointSpec:
+    """The batch-independent, arrival-free coordinates of a point."""
+    return replace(pspec, batch=1, arrival_rate=None)
+
+
 def _evaluate_spec(
     pspec: PointSpec,
     base_arch: ArchConfig,
@@ -503,15 +610,15 @@ def _evaluate_spec(
     Drops the (large, partly unpicklable) execution plan so results are
     cheap to ship between processes and identical to cache-served points.
 
-    The batch axis is a closed-form rescaling of the batch-independent
-    analysis (:func:`repro.sim.fastmodel.stream_batched`), so ``memo``
-    (keyed by the batch=1 cache key, scoped to one sweep) lets a sweep
-    over ``batch_sizes=(1, 4, 8)`` plan and analyse each base point
-    once and derive the batch variants in O(1) -- bit-identical to
-    evaluating every point from scratch.
+    The batch and arrival-rate axes are closed-form continuations of the
+    batch-independent analysis (:func:`_derive_report`), so ``memo``
+    (keyed by the batch=1/rate=None cache key, scoped to one sweep) lets
+    a sweep over ``batch_sizes=(1, 4, 8)`` x ``arrival_rates`` plan and
+    analyse each base point once and derive the variants in O(1) --
+    bit-identical to evaluating every point from scratch.
     """
     base_key = (
-        replace(pspec, batch=1).cache_key(base_arch)
+        _base_spec(pspec).cache_key(base_arch)
         if memo is not None else None
     )
     report = memo.get(base_key) if memo is not None else None
@@ -528,9 +635,10 @@ def _evaluate_spec(
         report = point.report
         if memo is not None:
             memo[base_key] = report
-    if pspec.batch > 1:
-        report = stream_batched(report, pspec.batch)
-    return _point_from_report(pspec, base_arch, report, cached=False)
+    return _point_from_report(
+        pspec, base_arch, _derive_report(pspec, base_arch, report),
+        cached=False,
+    )
 
 
 def _worker_evaluate(
@@ -573,6 +681,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         num_classes=pspec.num_classes,
         chips=pspec.chips,
         batch=pspec.batch,
+        arrival_rate=pspec.arrival_rate,
         cached=cached,
     )
 
@@ -582,6 +691,7 @@ def run_sweep(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[Callable[[int, int, DesignPoint], None]] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Execute a sweep, optionally in parallel and/or through the cache.
 
@@ -594,6 +704,14 @@ def run_sweep(
     ``cache``: a :class:`ResultCache`; hits skip evaluation entirely and
     fresh results are stored for the next run.
 
+    ``resume``: when a cache is given, a sweep-level manifest
+    (:class:`~repro.explore_cache.SweepManifest`, journalled next to the
+    cache) records every completed point key as the sweep runs, so an
+    interrupted ``python -m repro sweep`` restarts mid-cross-product:
+    the restart reports how many points the previous run completed
+    (``stats.resumed_points``) and only evaluates the remainder.  A
+    sweep that finishes removes its manifest.
+
     ``progress``: called as ``progress(done, total, point)`` after every
     point completes (cache hits included).
     """
@@ -602,6 +720,15 @@ def run_sweep(
     pspecs = spec.points()
     stats = SweepStats(total_points=len(pspecs), workers=max(1, workers or 1))
     started = time.perf_counter()
+
+    manifest: Optional[SweepManifest] = None
+    previously: frozenset = frozenset()
+    if cache is not None and resume:
+        spec_dict = spec.to_dict()
+        manifest = SweepManifest(
+            cache.root, sweep_fingerprint(spec_dict), spec_meta=spec_dict
+        )
+        previously = manifest.load()
 
     results: List[Optional[DesignPoint]] = [None] * len(pspecs)
     done = 0
@@ -613,6 +740,10 @@ def run_sweep(
         if progress is not None:
             progress(done, len(pspecs), point)
 
+    def journal(key: str) -> None:
+        if manifest is not None and key not in previously:
+            manifest.mark(key)
+
     # Pass 1: serve what we can from the cache.
     pending: List[Tuple[int, PointSpec]] = []
     keys: Dict[int, str] = {}
@@ -623,6 +754,9 @@ def run_sweep(
             report = cache.lookup(key)
             if report is not None:
                 stats.cache_hits += 1
+                if key in previously:
+                    stats.resumed_points += 1
+                journal(key)
                 finish(index, _point_from_report(pspec, base, report, True))
                 continue
             stats.cache_misses += 1
@@ -645,8 +779,10 @@ def run_sweep(
                     "closure_limit": pspec.closure_limit,
                     "chips": pspec.chips,
                     "batch": pspec.batch,
+                    "arrival_rate": pspec.arrival_rate,
                 },
             )
+            journal(keys[index])
         finish(index, point)
 
     if stats.workers <= 1 or len(pending) <= 1:
@@ -655,18 +791,18 @@ def run_sweep(
             record(index, pspec, _evaluate_spec(pspec, base, memo))
     else:
         by_index = dict(pending)
-        # The batch axis is a closed-form rescaling of the batch=1
-        # analysis, so the pool only ever evaluates *unique base points*
-        # (batch pinned to 1); every pending batch variant is derived
-        # in-parent via stream_batched -- bit-identical to evaluating it
-        # directly, and each base is planned exactly once no matter how
-        # the pool schedules it.
+        # The batch and arrival-rate axes are closed-form continuations
+        # of the base (batch=1, rate=None) analysis, so the pool only
+        # ever evaluates *unique base points*; every pending variant is
+        # derived in-parent via _derive_report -- bit-identical to
+        # evaluating it directly, and each base is planned exactly once
+        # no matter how the pool schedules it.
         groups: Dict[str, List[int]] = {}
         base_specs: Dict[str, PointSpec] = {}
         for index, pspec in pending:
-            key = replace(pspec, batch=1).cache_key(base)
+            key = _base_spec(pspec).cache_key(base)
             groups.setdefault(key, []).append(index)
-            base_specs.setdefault(key, replace(pspec, batch=1))
+            base_specs.setdefault(key, _base_spec(pspec))
         # Adaptive scheduling: submit expensive points first (stable on
         # first pending index for determinism); results are re-indexed,
         # so ordering only affects wall time, never output.
@@ -681,14 +817,14 @@ def run_sweep(
             for job, base_point in pool.map(_worker_evaluate, jobs):
                 for index in groups[ordered[job]]:
                     pspec = by_index[index]
-                    report = base_point.report
-                    if pspec.batch > 1:
-                        report = stream_batched(report, pspec.batch)
+                    report = _derive_report(pspec, base, base_point.report)
                     record(
                         index, pspec,
                         _point_from_report(pspec, base, report, False),
                     )
 
+    if manifest is not None:
+        manifest.complete()
     stats.wall_time_s = time.perf_counter() - started
     assert all(pt is not None for pt in results)
     return SweepResult(spec=spec, points=results, stats=stats)
@@ -754,10 +890,15 @@ def spot_check(
     on the exact simulator (hot-block engine by default) so every sweep
     ships with an empirical fast-model error bound.  Exposed on the CLI
     as ``python -m repro sweep --spot-check N``.
+
+    Arrival-rate points are re-checked at their *batch* coordinates
+    (back-to-back): the cycle-level comparison bounds execution-model
+    error, and arrival idle time -- identical in both tiers by
+    construction -- would only dilute the ratio.
     """
     from repro.compiler.pipeline import compile_graph, compile_sharded
     from repro.sim.fastmodel import analyze_plan as analyze
-    from repro.workflow import simulate
+    from repro.workflow import _simulate_impl
 
     if n <= 0:
         return []
@@ -793,8 +934,8 @@ def spot_check(
             if pt.batch > 1:
                 fast = stream_batched(fast, pt.batch)
             fast_cycles = fast.cycles
-        outcome = simulate(
-            compiled, validate=validate, engine=engine, batch=pt.batch
+        outcome = _simulate_impl(
+            compiled, None, validate, 0, engine, pt.batch
         )
         checks.append(SpotCheckResult(
             point=pt,

@@ -36,7 +36,9 @@ from repro.sim.fastmodel import FastReport
 #: fingerprints include the inter-chip link block.
 #: v3: batched streaming inference -- keys carry the batch size and
 #: reports carry batch/steady-interval fields.
-CACHE_SCHEMA_VERSION = 3
+#: v4: continuous-arrival serving -- keys carry the arrival rate and
+#: reports carry shard occupancies / latency-percentile fields.
+CACHE_SCHEMA_VERSION = 4
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -79,14 +81,16 @@ def point_key(
     closure_limit: Optional[int] = None,
     chips: int = 1,
     batch: int = 1,
+    arrival_rate: Optional[float] = None,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
-    key -- including the multi-chip shard count and the streaming batch
-    size; the architecture contributes through its own content
-    fingerprint so structurally identical :class:`ArchConfig` instances
-    collide (which is exactly what we want).
+    key -- including the multi-chip shard count, the streaming batch
+    size and the continuous-arrival rate; the architecture contributes
+    through its own content fingerprint so structurally identical
+    :class:`ArchConfig` instances collide (which is exactly what we
+    want).
     """
     material = json.dumps(
         {
@@ -99,6 +103,7 @@ def point_key(
             "closure_limit": closure_limit,
             "chips": chips,
             "batch": batch,
+            "arrival_rate": arrival_rate,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -263,3 +268,102 @@ class ResultCache:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.requests if self.requests else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Sweep-level resume manifests
+# ---------------------------------------------------------------------------
+
+#: Bump when the manifest layout changes; mismatched journals are ignored.
+MANIFEST_SCHEMA_VERSION = 1
+
+
+def sweep_fingerprint(spec_dict: Dict[str, Any]) -> str:
+    """Content address of a whole sweep specification.
+
+    Hashes the JSON-safe spec form (:meth:`repro.explore.SweepSpec.
+    to_dict`), which already folds in the base-architecture fingerprint
+    -- so two sweeps share a manifest iff they would evaluate the exact
+    same cross product.
+    """
+    material = json.dumps(spec_dict, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+class SweepManifest:
+    """Append-only resume journal for one sweep specification.
+
+    Lives next to the :class:`ResultCache`
+    (``<root>/manifests/<spec fingerprint>.jsonl``).  The first line is
+    a header (schema + fingerprint + the spec itself, for human
+    inspection); every following line records one completed point key.
+    An interrupted ``python -m repro sweep`` leaves the journal behind,
+    so the next run of the same spec knows exactly which points of the
+    cross product already completed (their reports are served from the
+    result cache) and restarts mid-cross-product; a sweep that runs to
+    completion removes its journal.
+
+    Appends are one ``write`` call per point, so a crash can at worst
+    leave a torn final line -- :meth:`load` skips unparsable lines, and
+    a lost entry merely re-evaluates one point.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fingerprint: str,
+        spec_meta: Optional[Dict[str, Any]] = None,
+    ):
+        self.root = Path(root)
+        self.fingerprint = fingerprint
+        self.spec_meta = spec_meta
+        self.path = self.root / "manifests" / f"{fingerprint}.jsonl"
+
+    def load(self) -> frozenset:
+        """Completed point keys from a previous (interrupted) run.
+
+        An unreadable journal, a schema mismatch, or a fingerprint
+        mismatch yields the empty set -- resume is best-effort, never an
+        error.
+        """
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError:
+            return frozenset()
+        if not lines:
+            return frozenset()
+        try:
+            header = json.loads(lines[0])
+            if header.get("schema") != MANIFEST_SCHEMA_VERSION:
+                return frozenset()
+            if header.get("fingerprint") != self.fingerprint:
+                return frozenset()
+        except (ValueError, AttributeError):
+            return frozenset()
+        keys = set()
+        for line in lines[1:]:
+            try:
+                keys.add(json.loads(line)["key"])
+            except (ValueError, KeyError, TypeError):
+                continue  # torn tail write from an interrupted run
+        return frozenset(keys)
+
+    def mark(self, key: str) -> None:
+        """Record one completed point key (creates the journal lazily)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not self.path.exists():
+            header = json.dumps({
+                "schema": MANIFEST_SCHEMA_VERSION,
+                "fingerprint": self.fingerprint,
+                "spec": self.spec_meta or {},
+            })
+            self.path.write_text(header + "\n")
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps({"key": key}) + "\n")
+
+    def complete(self) -> None:
+        """Remove the journal: the sweep finished, nothing to resume."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass

@@ -1,0 +1,818 @@
+"""First-class serving API: compile once, submit many, continuous arrivals.
+
+The paper evaluates one inference at a time; the repository's north star
+is a production-scale serving system.  This module is the user-facing
+surface for that: a :class:`Deployment` owns one compiled model (single-
+or multi-chip) across arbitrarily many submissions, and every submission
+drives the streaming scheduler with an explicit arrival process::
+
+    from repro import Deployment, FixedRate
+
+    dep = Deployment("resnet18", chips=4, input_size=32, num_classes=10)
+    report = dep.submit(batch=64, arrivals=FixedRate(2000))   # 2k inf/s
+    print(report)          # p50/p95/p99 latency, per-shard utilisation
+    report = dep.run_trace([0, 150, 900, 2400])               # recorded trace
+
+**Queueing law.**  Input ``i`` is *released* at an arrival-process-chosen
+cycle, waits until the first shard is free (FIFO, submission order),
+then flows through the chip pipeline under the PR-4 streaming recurrence
+(:func:`repro.sim.multichip.streaming_schedule`), now generalised to
+nonzero release times: ``start[i][k] = max(release_i if k == 0,
+finish[i-1][k], last inbound transfer arrival)``.  With every release at
+cycle 0 this is bit-identical to the batched schedule, so batched mode
+is the ``arrivals=BackToBack()`` special case.  Both fidelity tiers
+share the law: ``tier="cyclesim"`` executes every input on the exact
+simulator, ``tier="fast"`` prices the same schedule from the analytical
+model (:func:`repro.sim.fastmodel.serve_arrivals`).
+
+**Serving-session contract** (see ``docs/ARCHITECTURE.md``, "Serving
+sessions").  What may persist across submissions is exactly the
+*input-invariant* compile product: the compiled programs and the weight
+image.  Activations and all runtime chip state do not persist -- every
+input executes on fresh chip state (per-input isolation), which keeps
+every output bit-identical to an independent single-input run.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.compiler import CompiledModel, MultiChipModel
+from repro.config import ArchConfig
+from repro.errors import ConfigError
+from repro.graph.graph import ComputationGraph
+from repro.sim.functional import golden_outputs
+from repro.sim.multichip import (
+    MultiChipReport,
+    MultiChipSimulator,
+    TransferEdge,
+    assemble_stream_report,
+    merge_shard_energy,
+    steady_state_interval,
+    streaming_schedule,
+)
+from repro.workflow import (
+    ArchLike,
+    WorkflowResult,
+    _resolve_batch_inputs,
+    _run_single_chip,
+    _validate_outputs,
+    compile_model,
+)
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+class ArrivalProcess:
+    """When each submitted input becomes available to the system.
+
+    Implementations return per-input *release cycles* (non-negative,
+    served FIFO in submission order).  ``cycle_ns`` is the deployment's
+    clock period, so rate-based processes can be specified in real-world
+    inferences/second.
+    """
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class BackToBack(ArrivalProcess):
+    """Every input available at cycle 0 -- the PR-4 batched special case."""
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        return [0] * n
+
+    def describe(self) -> str:
+        return "back-to-back"
+
+
+class FixedInterval(ArrivalProcess):
+    """Deterministic arrivals every ``interval_cycles`` cycles."""
+
+    def __init__(self, interval_cycles: int):
+        if interval_cycles < 0:
+            raise ConfigError(
+                f"arrival interval must be >= 0 cycles, got {interval_cycles}"
+            )
+        self.interval_cycles = int(interval_cycles)
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        return [i * self.interval_cycles for i in range(n)]
+
+    def describe(self) -> str:
+        return f"fixed-interval {self.interval_cycles} cycles"
+
+
+class FixedRate(ArrivalProcess):
+    """Deterministic arrivals at ``inf_per_s`` inferences/second."""
+
+    def __init__(self, inf_per_s: float):
+        if inf_per_s <= 0:
+            raise ConfigError(
+                f"arrival rate must be > 0 inferences/s, got {inf_per_s}"
+            )
+        self.inf_per_s = float(inf_per_s)
+
+    def interval_cycles(self, cycle_ns: float) -> int:
+        return max(1, int(round(1e9 / (self.inf_per_s * cycle_ns))))
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        step = self.interval_cycles(cycle_ns)
+        return [i * step for i in range(n)]
+
+    def describe(self) -> str:
+        return f"fixed-rate {self.inf_per_s:g} inf/s"
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a mean ``inf_per_s`` rate.
+
+    ``seed`` is caller-provided and mandatory: the draw is fully
+    reproducible (NumPy ``default_rng``), so a serving experiment can be
+    replayed bit-exactly.
+    """
+
+    def __init__(self, inf_per_s: float, seed: int):
+        if inf_per_s <= 0:
+            raise ConfigError(
+                f"arrival rate must be > 0 inferences/s, got {inf_per_s}"
+            )
+        self.inf_per_s = float(inf_per_s)
+        self.seed = int(seed)
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        rng = np.random.default_rng(self.seed)
+        mean_cycles = 1e9 / (self.inf_per_s * cycle_ns)
+        t = 0.0
+        out: List[int] = []
+        for gap in rng.exponential(mean_cycles, size=n):
+            t += gap
+            out.append(int(round(t)))
+        return out
+
+    def describe(self) -> str:
+        return f"poisson {self.inf_per_s:g} inf/s (seed {self.seed})"
+
+
+class TraceArrivals(ArrivalProcess):
+    """A recorded arrival trace: one release cycle per input."""
+
+    def __init__(self, release_cycles: Sequence[int]):
+        self.releases = [int(c) for c in release_cycles]
+        if any(c < 0 for c in self.releases):
+            raise ConfigError("trace release cycles must be >= 0")
+
+    def __len__(self) -> int:
+        return len(self.releases)
+
+    def release_cycles(self, n: int, cycle_ns: float) -> List[int]:
+        if n != len(self.releases):
+            raise ConfigError(
+                f"trace has {len(self.releases)} arrivals but {n} inputs "
+                f"were submitted"
+            )
+        return list(self.releases)
+
+    def describe(self) -> str:
+        return f"trace[{len(self.releases)}]"
+
+
+def latency_percentile(latencies: Sequence[int], pct: float) -> int:
+    """Nearest-rank percentile (deterministic on integer cycle counts)."""
+    if not latencies:
+        return 0
+    ordered = sorted(latencies)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return int(ordered[min(rank, len(ordered)) - 1])
+
+
+# ---------------------------------------------------------------------------
+# Serving report
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ServeReport:
+    """One submission's view of the serving queueing model.
+
+    Cycle accounting per input ``i``::
+
+        release_i  (arrival)  <=  start_i  (enters shard 0)
+        queue_i    = start_i  - release_i      (waiting for the pipeline)
+        service_i  = finish_i - start_i        (inside the pipeline)
+        latency_i  = finish_i - release_i      (what the client sees)
+
+    ``shard_cycles`` is one input's per-shard occupancy (identical for
+    every input: timing is data-independent under per-input isolation),
+    ``shard_utilization`` each shard's busy fraction of the makespan,
+    and ``steady_interval_cycles`` the closed-form bottleneck interval
+    -- the saturation rate the deployment cannot exceed.  Energy, MACs
+    and instruction counts sum over the whole stream.  ``stream_report``
+    (cyclesim tier) is the aggregate :class:`MultiChipReport` in the
+    PR-4 batched format, bit-identical to batched mode for back-to-back
+    arrivals.
+    """
+
+    arch: ArchConfig
+    tier: str
+    batch: int
+    arrival: str
+    releases: List[int]
+    service_starts: List[int]
+    input_finishes: List[int]
+    makespan_cycles: int
+    steady_interval_cycles: int
+    shard_cycles: List[int]
+    shard_utilization: List[float]
+    energy_breakdown_pj: Dict[str, float]
+    macs: int = 0
+    instructions: int = 0
+    validated: bool = False
+    stream_report: Optional[MultiChipReport] = field(default=None, repr=False)
+    per_input_outputs: Optional[List[Dict[str, np.ndarray]]] = field(
+        default=None, repr=False
+    )
+    golden: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
+
+    # -- derived cycle series ----------------------------------------------
+    @property
+    def queue_cycles(self) -> List[int]:
+        return [s - r for s, r in zip(self.service_starts, self.releases)]
+
+    @property
+    def service_cycles(self) -> List[int]:
+        return [f - s for f, s in zip(self.input_finishes, self.service_starts)]
+
+    @property
+    def latency_cycles(self) -> List[int]:
+        return [f - r for f, r in zip(self.input_finishes, self.releases)]
+
+    def latency_percentile_cycles(self, pct: float) -> int:
+        return latency_percentile(self.latency_cycles, pct)
+
+    @property
+    def p50_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(50)
+
+    @property
+    def p95_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(95)
+
+    @property
+    def p99_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(99)
+
+    # -- unit conversions ---------------------------------------------------
+    @property
+    def cycle_ns(self) -> float:
+        return self.arch.chip.cycle_ns
+
+    def _ms(self, cycles: int) -> float:
+        return cycles * self.cycle_ns / 1e6
+
+    @property
+    def makespan_ms(self) -> float:
+        return self._ms(self.makespan_cycles)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self._ms(self.p50_latency_cycles)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self._ms(self.p95_latency_cycles)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self._ms(self.p99_latency_cycles)
+
+    @property
+    def throughput_inf_per_s(self) -> float:
+        """Sustained rate actually achieved: completions over makespan."""
+        if self.batch == 0 or self.makespan_cycles <= 0:
+            return 0.0
+        return self.batch / (self.makespan_cycles * self.cycle_ns / 1e9)
+
+    @property
+    def saturation_inf_per_s(self) -> float:
+        """The rate ceiling: one inference per bottleneck interval."""
+        if self.steady_interval_cycles <= 0:
+            return 0.0
+        return 1e9 / (self.steady_interval_cycles * self.cycle_ns)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_cycles)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.total_energy_pj / 1e9
+
+    @property
+    def energy_per_inference_mj(self) -> float:
+        return self.total_energy_mj / max(1, self.batch)
+
+    def to_dict(self) -> Dict:
+        from repro.config import arch_fingerprint
+
+        return {
+            "arch_fingerprint": arch_fingerprint(self.arch),
+            "tier": self.tier,
+            "batch": int(self.batch),
+            "arrival": self.arrival,
+            "num_shards": self.num_shards,
+            "releases": [int(c) for c in self.releases],
+            "service_starts": [int(c) for c in self.service_starts],
+            "input_finishes": [int(c) for c in self.input_finishes],
+            "queue_cycles": [int(c) for c in self.queue_cycles],
+            "latency_cycles": [int(c) for c in self.latency_cycles],
+            "makespan_cycles": int(self.makespan_cycles),
+            "makespan_ms": self.makespan_ms,
+            "steady_interval_cycles": int(self.steady_interval_cycles),
+            "p50_latency_cycles": self.p50_latency_cycles,
+            "p95_latency_cycles": self.p95_latency_cycles,
+            "p99_latency_cycles": self.p99_latency_cycles,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "throughput_inf_per_s": self.throughput_inf_per_s,
+            "saturation_inf_per_s": self.saturation_inf_per_s,
+            "shard_cycles": [int(c) for c in self.shard_cycles],
+            "shard_utilization": [float(u) for u in self.shard_utilization],
+            "total_energy_mj": self.total_energy_mj,
+            "energy_per_inference_mj": self.energy_per_inference_mj,
+            "macs": int(self.macs),
+            "instructions": int(self.instructions),
+            "validated": self.validated,
+            "energy_breakdown_pj": {
+                k: float(v) for k, v in self.energy_breakdown_pj.items()
+            },
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"tier              : {self.tier}",
+            f"shards            : {self.num_shards}",
+            f"inputs            : {self.batch} ({self.arrival})",
+            f"makespan          : {self.makespan_cycles:,} cycles "
+            f"({self.makespan_ms:.3f} ms)",
+            f"sustained rate    : {self.throughput_inf_per_s:,.0f} inf/s "
+            f"(saturation {self.saturation_inf_per_s:,.0f} inf/s)",
+            f"latency p50       : {self.p50_latency_cycles:,} cycles "
+            f"({self.p50_latency_ms:.3f} ms)",
+            f"latency p95       : {self.p95_latency_cycles:,} cycles "
+            f"({self.p95_latency_ms:.3f} ms)",
+            f"latency p99       : {self.p99_latency_cycles:,} cycles "
+            f"({self.p99_latency_ms:.3f} ms)",
+        ]
+        queue = self.queue_cycles
+        if queue:
+            lines.append(
+                f"queue wait        : mean {sum(queue) / len(queue):,.0f}, "
+                f"max {max(queue):,} cycles"
+            )
+        lines.append(
+            f"energy            : {self.total_energy_mj:.4f} mJ "
+            f"({self.energy_per_inference_mj:.4f} mJ/inference)"
+        )
+        lines.append("shard utilization :")
+        for k, util in enumerate(self.shard_utilization):
+            lines.append(f"  chip {k}: {100 * util:5.1f}%")
+        return "\n".join(lines)
+
+
+def _shard_utilization(
+    rows: Sequence[Sequence[int]], makespan: int
+) -> List[float]:
+    """Per-shard busy fraction of the stream makespan."""
+    if not rows or makespan <= 0:
+        return [0.0] * (len(rows[0]) if rows else 0)
+    return [
+        sum(row[k] for row in rows) / makespan for k in range(len(rows[0]))
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Deployment
+# ---------------------------------------------------------------------------
+
+ModelLike = Union[str, ComputationGraph, CompiledModel, MultiChipModel]
+
+
+class Deployment:
+    """A compiled model held resident across many submissions.
+
+    ``Deployment(model, arch, chips=N)`` compiles exactly once (single-
+    or multi-chip); :meth:`submit` and :meth:`run_trace` then drive the
+    streaming scheduler with per-input release cycles from an
+    :class:`ArrivalProcess`, and :meth:`run` executes one input in the
+    classic latency mode.  ``model`` may also be an already-compiled
+    :class:`CompiledModel` / :class:`MultiChipModel`, which the
+    deployment adopts as-is.
+
+    ``tier`` selects fidelity: ``"cyclesim"`` (default) executes every
+    input on the exact cycle-level simulator with bit-exact golden
+    validation; ``"fast"`` prices the identical queueing schedule from
+    the analytical model (no functional outputs) and never code-
+    generates, so it scales to paper-sized models.
+    """
+
+    def __init__(
+        self,
+        model: ModelLike,
+        arch: ArchLike = None,
+        *,
+        chips: int = 1,
+        strategy: str = "dp",
+        engine: Optional[str] = None,
+        tier: str = "cyclesim",
+        closure_limit: Optional[int] = None,
+        **model_kwargs,
+    ):
+        if tier not in ("cyclesim", "fast"):
+            raise ConfigError(
+                f"unknown deployment tier {tier!r}; expected 'cyclesim' "
+                f"or 'fast'"
+            )
+        self.tier = tier
+        self.engine = engine
+        self.compiled: Union[CompiledModel, MultiChipModel, None] = None
+        self._plans = None
+        self._sharding = None
+        self._fast_reports = None
+
+        if isinstance(model, (CompiledModel, MultiChipModel)):
+            if (
+                arch is not None or model_kwargs or chips != 1
+                or strategy != "dp" or closure_limit is not None
+            ):
+                raise ConfigError(
+                    "a compiled model carries its own architecture, "
+                    "sharding and strategy; pass Deployment(compiled) "
+                    "with no compile keywords (arch/chips/strategy/"
+                    "closure_limit/model kwargs)"
+                )
+            self.compiled = model
+        elif tier == "fast":
+            # Plan-only compilation: the fast tier never executes
+            # instructions, so OP-level code generation is skipped.
+            from repro.compiler.partition import shard_graph
+            from repro.compiler.pipeline import plan_graph
+            from repro.workflow import _resolve_arch, _resolve_graph
+
+            graph = _resolve_graph(model, **model_kwargs)
+            resolved = _resolve_arch(arch)
+            if chips < 1:
+                raise ConfigError(f"chip count must be >= 1, got {chips}")
+            if chips > 1:
+                self._sharding = shard_graph(graph, chips)
+                self._plans = [
+                    plan_graph(shard.graph, resolved, strategy, closure_limit)
+                    for shard in self._sharding.shards
+                ]
+            else:
+                self._plans = [
+                    plan_graph(graph, resolved, strategy, closure_limit)
+                ]
+            self._graph = graph
+            self._arch = resolved
+        else:
+            self.compiled = compile_model(
+                model, arch, strategy, chips=chips, **model_kwargs
+            )
+
+        if self.compiled is not None:
+            self._graph = self.compiled.graph
+            self._arch = self.compiled.arch
+            if self.tier == "fast":
+                if isinstance(self.compiled, MultiChipModel):
+                    self._plans = [c.plan for c in self.compiled.chips]
+                    self._sharding = self.compiled.sharding
+                else:
+                    self._plans = [self.compiled.plan]
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def graph(self) -> ComputationGraph:
+        return self._graph
+
+    @property
+    def arch(self) -> ArchConfig:
+        return self._arch
+
+    @property
+    def num_chips(self) -> int:
+        if isinstance(self.compiled, MultiChipModel):
+            return self.compiled.num_chips
+        if self.compiled is not None:
+            return 1
+        return len(self._plans)
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.num_chips > 1
+
+    def summary(self) -> str:
+        if self.compiled is not None:
+            return self.compiled.summary()
+        lines = [plan.summary() for plan in self._plans]
+        lines.append(f"  fast-tier deployment, {self.num_chips} chip(s)")
+        return "\n".join(lines)
+
+    def _transfer_edges(self) -> List[TransferEdge]:
+        if isinstance(self.compiled, MultiChipModel):
+            return [
+                (t.src_chip, t.dst_chip, t.nbytes)
+                for t in self.compiled.transfers
+            ]
+        if self.compiled is None and self._sharding is not None:
+            edges: List[TransferEdge] = []
+            for shard in self._sharding.shards:
+                for tensor in sorted(shard.incoming):
+                    edges.append((
+                        shard.incoming[tensor],
+                        shard.index,
+                        self._sharding.graph.tensor(tensor).size_bytes,
+                    ))
+            edges.sort()
+            return edges
+        return []
+
+    # -- single-input latency mode -----------------------------------------
+    def run(
+        self,
+        input_data: Optional[np.ndarray] = None,
+        *,
+        validate: bool = True,
+        seed: int = 0,
+    ) -> WorkflowResult:
+        """Execute one input end to end (classic latency mode).
+
+        Cycle-level execution with the Fig. 2 bit-exact golden check;
+        equivalent to the legacy ``simulate(compiled)`` single-input
+        path.  Requires ``tier="cyclesim"``.
+        """
+        self._require_cyclesim("run()")
+        from repro.sim.functional import random_input
+
+        graph = self.graph
+        if input_data is None:
+            input_data = random_input(graph, seed=seed)
+        input_tensor = graph.input_operators[0].output
+
+        if isinstance(self.compiled, MultiChipModel):
+            sim = MultiChipSimulator(self.compiled, engine=self.engine)
+            sim.write_input(input_tensor, input_data)
+            report = sim.run()
+            outputs = {
+                name: sim.read_output(name).reshape(graph.tensor(name).shape)
+                for name in graph.outputs
+            }
+            label = f"{self.compiled.num_chips} chips"
+        else:
+            report, outputs = _run_single_chip(
+                self.compiled, input_data, self.engine
+            )
+            label = self.compiled.plan.strategy
+
+        golden = None
+        validated = False
+        if validate:
+            golden = golden_outputs(graph, {input_tensor: input_data})
+            _validate_outputs(graph, outputs, golden, label)
+            validated = True
+        return WorkflowResult(
+            compiled=self.compiled,
+            report=report,
+            outputs=outputs,
+            golden=golden,
+            validated=validated,
+        )
+
+    def _require_cyclesim(self, what: str) -> None:
+        if self.tier != "cyclesim":
+            raise ConfigError(
+                f"{what} needs cycle-level execution; this deployment was "
+                f"created with tier='fast'"
+            )
+
+    # -- streaming submissions ---------------------------------------------
+    def submit(
+        self,
+        inputs=None,
+        *,
+        batch: int = 1,
+        arrivals: Optional[Union[ArrivalProcess, Sequence[int]]] = None,
+        seed: int = 0,
+        validate: bool = True,
+    ) -> ServeReport:
+        """Submit a stream of inputs under an arrival process.
+
+        ``inputs`` follows the batched-workflow conventions (``None``
+        draws ``batch`` reproducible random inputs seeded ``seed``,
+        ``seed+1``, ...; a list / stacked array of input tensors sets
+        the batch implicitly).  ``arrivals`` is an
+        :class:`ArrivalProcess` (default :class:`BackToBack`) or a bare
+        sequence of release cycles; an empty :class:`TraceArrivals`
+        yields an empty report.  The cyclesim tier validates every input
+        bit-exactly against the golden model; the fast tier carries no
+        functional outputs (``validate`` is ignored).
+        """
+        if arrivals is None:
+            arrivals = BackToBack()
+        elif not isinstance(arrivals, ArrivalProcess):
+            arrivals = TraceArrivals(arrivals)
+        if isinstance(arrivals, TraceArrivals) and batch == 1:
+            batch = len(arrivals)
+            if batch == 0:
+                return self._empty_report(arrivals)
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+
+        if self.tier == "fast":
+            # Timing is data-independent, so the fast tier only uses
+            # ``inputs`` to set/check the batch (shape-validated like
+            # the cyclesim tier); the tensor contents are not executed.
+            if inputs is not None:
+                batch = len(
+                    _resolve_batch_inputs(self.graph, inputs, batch, seed)
+                )
+            releases = arrivals.release_cycles(batch, self.arch.chip.cycle_ns)
+            return self._submit_fast(releases, arrivals)
+
+        resolved = _resolve_batch_inputs(self.graph, inputs, batch, seed)
+        releases = arrivals.release_cycles(
+            len(resolved), self.arch.chip.cycle_ns
+        )
+        return self._submit_cyclesim(resolved, releases, arrivals, validate)
+
+    def run_trace(
+        self,
+        trace: Union[TraceArrivals, Sequence[int]],
+        inputs=None,
+        *,
+        seed: int = 0,
+        validate: bool = True,
+    ) -> ServeReport:
+        """Replay a recorded arrival trace (one release cycle per input).
+
+        ``run_trace([0, 0, ..., 0])`` reproduces the batched streaming
+        schedule of PR 4 exactly -- same makespan, bit-identical
+        outputs.  An empty trace is legal and yields an empty report.
+        """
+        if not isinstance(trace, TraceArrivals):
+            trace = TraceArrivals(trace)
+        if not len(trace):
+            return self._empty_report(trace)
+        return self.submit(
+            inputs, batch=len(trace), arrivals=trace, seed=seed,
+            validate=validate,
+        )
+
+    def _empty_report(self, arrivals: ArrivalProcess) -> ServeReport:
+        shard_cycles = [0] * self.num_chips
+        return ServeReport(
+            arch=self.arch,
+            tier=self.tier,
+            batch=0,
+            arrival=arrivals.describe(),
+            releases=[],
+            service_starts=[],
+            input_finishes=[],
+            makespan_cycles=0,
+            steady_interval_cycles=0,
+            shard_cycles=shard_cycles,
+            shard_utilization=[0.0] * self.num_chips,
+            energy_breakdown_pj={},
+            per_input_outputs=[] if self.tier == "cyclesim" else None,
+        )
+
+    # -- cyclesim tier ------------------------------------------------------
+    def _submit_cyclesim(
+        self,
+        inputs: Sequence[np.ndarray],
+        releases: List[int],
+        arrivals: ArrivalProcess,
+        validate: bool,
+    ) -> ServeReport:
+        graph = self.graph
+        link = self.arch.interchip
+        edges = self._transfer_edges()
+        input_tensor = graph.input_operators[0].output
+        batch = len(inputs)
+
+        if isinstance(self.compiled, MultiChipModel):
+            sim = MultiChipSimulator(self.compiled, engine=self.engine)
+            per_input_reports, per_input_outputs = sim.execute_stream(
+                inputs, input_tensor
+            )
+            rows = [[r.cycles for r in reports] for reports in per_input_reports]
+            interchip_per_input = self.compiled.interchip_bytes()
+            label = f"{self.compiled.num_chips} chips, serve {batch}"
+        else:
+            single_reports = []
+            per_input_outputs = []
+            for data in inputs:
+                report, outputs = _run_single_chip(
+                    self.compiled, data, self.engine
+                )
+                single_reports.append(report)
+                per_input_outputs.append(outputs)
+            per_input_reports = [[r] for r in single_reports]
+            rows = [[r.cycles] for r in single_reports]
+            interchip_per_input = 0
+            label = f"{self.compiled.plan.strategy}, serve {batch}"
+
+        schedule = streaming_schedule(rows, edges, link, releases)
+        starts, _, input_finishes, makespan = schedule
+        stream_report = assemble_stream_report(
+            self.arch, per_input_reports, edges, schedule, interchip_per_input
+        )
+
+        golden = None
+        validated = False
+        if validate:
+            for index, (data, outputs) in enumerate(
+                zip(inputs, per_input_outputs)
+            ):
+                expected = golden_outputs(graph, {input_tensor: data})
+                _validate_outputs(
+                    graph, outputs, expected, f"{label}, input {index}"
+                )
+                if index == 0:
+                    golden = expected
+            validated = True
+
+        return ServeReport(
+            arch=self.arch,
+            tier="cyclesim",
+            batch=batch,
+            arrival=arrivals.describe(),
+            releases=list(releases),
+            service_starts=[row[0] for row in starts],
+            input_finishes=input_finishes,
+            makespan_cycles=makespan,
+            steady_interval_cycles=stream_report.steady_interval_cycles,
+            shard_cycles=[r.cycles for r in per_input_reports[0]],
+            shard_utilization=_shard_utilization(rows, makespan),
+            energy_breakdown_pj=stream_report.energy_breakdown_pj,
+            macs=stream_report.macs,
+            instructions=stream_report.instructions,
+            validated=validated,
+            stream_report=stream_report,
+            per_input_outputs=list(per_input_outputs),
+            golden=golden,
+        )
+
+    # -- fast tier ----------------------------------------------------------
+    def _fast_shard_reports(self):
+        if self._fast_reports is None:
+            from repro.sim.fastmodel import analyze_plan
+
+            self._fast_reports = [analyze_plan(plan) for plan in self._plans]
+        return self._fast_reports
+
+    def _submit_fast(
+        self, releases: List[int], arrivals: ArrivalProcess
+    ) -> ServeReport:
+        link = self.arch.interchip
+        edges = self._transfer_edges()
+        shard_reports = self._fast_shard_reports()
+        row = [r.cycles for r in shard_reports]
+        batch = len(releases)
+        rows = [list(row) for _ in range(batch)]
+        starts, finishes, input_finishes, makespan = streaming_schedule(
+            rows, edges, link, releases
+        )
+        interchip_total = sum(nbytes for _, _, nbytes in edges)
+        per_input = merge_shard_energy(
+            [r.energy_breakdown_pj for r in shard_reports],
+            interchip_total, link,
+        )
+        energy = {k: v * batch for k, v in per_input.items()}
+        return ServeReport(
+            arch=self.arch,
+            tier="fast",
+            batch=batch,
+            arrival=arrivals.describe(),
+            releases=list(releases),
+            service_starts=[r[0] for r in starts],
+            input_finishes=input_finishes,
+            makespan_cycles=makespan,
+            steady_interval_cycles=steady_state_interval(row, edges, link),
+            shard_cycles=row,
+            shard_utilization=_shard_utilization(rows, makespan),
+            energy_breakdown_pj=energy,
+            macs=sum(r.macs for r in shard_reports) * batch,
+            instructions=0,
+        )

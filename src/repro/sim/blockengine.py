@@ -129,6 +129,9 @@ ENGINE_STATS = {
     "loop_iterations_batched": 0,  # replayed in closed form
     "batch_attempts": 0,
     "batch_successes": 0,
+    "template_builds": 0,          # symbolic plan templates constructed
+    "template_hits": 0,            # batch plans instantiated from a template
+    "template_misfits": 0,         # guard mismatch -> concrete re-walk
 }
 
 
@@ -743,7 +746,7 @@ class BlockInstance:
     __slots__ = (
         "fn", "consts", "start", "length", "is_loop", "exit_pc",
         "batch_ok", "code", "units", "dep_regs", "batch_fails",
-        "cnt_reg", "bound_reg",
+        "cnt_reg", "bound_reg", "templates",
     )
 
     def __init__(self, fn, consts, start, length, is_loop, exit_pc,
@@ -761,6 +764,9 @@ class BlockInstance:
         self.batch_fails = 0
         self.cnt_reg = cnt_reg
         self.bound_reg = bound_reg
+        #: step-delta key -> plan template (None = provably never
+        #: batchable under that delta, _TPL_CONCRETE = not symbolisable).
+        self.templates: Dict[Tuple, object] = {}
 
 
 class BlockProgram:
@@ -1113,7 +1119,22 @@ def _try_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
             return False
 
     try:
-        plan, m = _plan_batch(core, inst, delta, max_iterations)
+        template = _template_for(core, inst, delta)
+        if template is None:
+            # Symbolically proven: this loop never batches under this
+            # step delta, for any entry state.  Skip the affine walk.
+            return False
+        if template is _TPL_CONCRETE:
+            plan, m = _plan_batch(core, inst, delta, max_iterations)
+        else:
+            try:
+                plan, m = template.instantiate(core, max_iterations)
+                ENGINE_STATS["template_hits"] += 1
+            except _TemplateUnfit:
+                # A runtime guard (e.g. macro-group shape) diverged from
+                # the build-time environment; plan concretely this entry.
+                ENGINE_STATS["template_misfits"] += 1
+                plan, m = _plan_batch(core, inst, delta, max_iterations)
         _exec_batch(core, plan, m)
     except _Bail:
         return False
@@ -1358,6 +1379,476 @@ def _span(b: int, s: int, l: int, m: int) -> Tuple[int, int]:
     lo = b + (s * (m - 1) if s < 0 else 0)
     hi = b + l + (s * (m - 1) if s > 0 else 0)
     return lo, hi
+
+
+# ---------------------------------------------------------------------------
+# plan templates: cache the affine walk + hazard analysis per loop instance
+# ---------------------------------------------------------------------------
+#
+# The affine walk (:func:`_plan_batch`) re-runs at every loop entry even
+# though, for a given per-iteration step delta, its *structure* never
+# changes: operand bases are affine in the entry registers, and every
+# structural decision (which ops batch, their lengths, the hazard
+# geometry) depends only on the steps and the program immediates.  A
+# :class:`_PlanTemplate` captures one symbolic walk -- values as linear
+# expressions over the 48 entry slots (32 registers + 16 S-registers) --
+# and re-entries instantiate it with a handful of dot products instead of
+# re-walking the body.  The pairwise write-collision verdict is memoised
+# on the translation-invariant signature (trip count, relative bases),
+# so the hazard analysis is also amortised; only the cheap O(writes)
+# bounds check runs fresh per entry.  Instantiated plans are identical
+# tuples to what the concrete walk would build, so batched replay stays
+# bit-exact; anything the symbolic walk cannot decide for *all* entry
+# states falls back to the concrete walk (never to a wrong answer).
+
+class _TemplateUnfit(Exception):
+    """The symbolic walk (or a runtime guard) cannot cover this entry;
+    fall back to the concrete affine walk."""
+
+
+#: Sentinel: the walk is not symbolisable; always plan concretely.
+_TPL_CONCRETE = object()
+
+#: Sentinel: no cached decision yet for this (instance, delta) pair.
+_TPL_UNSET = object()
+
+#: Linear expression over entry slots: (constant, ((slot, coeff), ...)).
+#: Slots 0..31 are registers, 32..47 are S-registers.
+_E_ZERO = (0, ())
+
+
+def _e_const(c: int) -> Tuple:
+    return (c, ())
+
+
+def _e_slot(slot: int) -> Tuple:
+    return (0, ((slot, 1),))
+
+
+def _e_is_const(e: Tuple) -> bool:
+    return not e[1]
+
+
+def _e_combine(a: Tuple, b: Tuple, sign: int) -> Tuple:
+    coeffs = dict(a[1])
+    for slot, k in b[1]:
+        v = coeffs.get(slot, 0) + sign * k
+        if v:
+            coeffs[slot] = v
+        else:
+            coeffs.pop(slot, None)
+    return (a[0] + sign * b[0], tuple(sorted(coeffs.items())))
+
+
+def _e_scale(a: Tuple, k: int) -> Tuple:
+    if k == 0:
+        return _E_ZERO
+    return (a[0] * k, tuple((slot, c * k) for slot, c in a[1]))
+
+
+def _e_shift(a: Tuple, c: int) -> Tuple:
+    return (a[0] + c, a[1])
+
+
+class _PlanTemplate:
+    """One symbolic batch plan, instantiable against any entry state."""
+
+    __slots__ = (
+        "ops", "writes", "cnt", "bound", "guards", "mvm_guards", "_hazards",
+    )
+
+    def __init__(self, ops, writes, cnt, bound, guards, mvm_guards):
+        self.ops = ops            # op tuples with exprs in base positions
+        self.writes = writes      # (base expr, step, nbytes)
+        self.cnt = cnt            # (expr, step) of the BLT counter
+        self.bound = bound        # expr of the BLT bound (step 0)
+        self.guards = guards      # (expr, expected value) bindings
+        self.mvm_guards = mvm_guards   # (mg, rows, cols) build-time shapes
+        self._hazards: Dict[Tuple, bool] = {}
+
+    def instantiate(self, core, max_iterations: int):
+        """Materialise the concrete ``(plan, m)`` for the current entry.
+
+        Raises :class:`_Bail` exactly where the concrete walk would
+        (trip budget, bounds, collisions) and :class:`_TemplateUnfit`
+        when a guard shows the build-time environment no longer matches
+        (the caller then re-walks concretely).
+        """
+        regs = core.regs
+        sregs = core.sregs
+        mgs = core.mgs
+
+        def ev(e: Tuple) -> int:
+            value, coeffs = e
+            for slot, k in coeffs:
+                value += k * (regs[slot] if slot < 32 else sregs[slot - 32])
+            return value
+
+        for expr, expected in self.guards:
+            if ev(expr) != expected:
+                raise _TemplateUnfit()
+        for mg, rows, cols in self.mvm_guards:
+            if not 0 <= mg < len(mgs) or mgs[mg] is None:
+                raise _Bail()
+            entry = mgs[mg]
+            if entry[1] != rows or entry[2] != cols:
+                raise _TemplateUnfit()
+
+        cnt_v = ev(self.cnt[0])
+        cnt_s = self.cnt[1]
+        bound_v = ev(self.bound)
+        if cnt_v >= bound_v:
+            m = 1
+        else:
+            m = 1 + (bound_v - cnt_v + cnt_s - 1) // cnt_s
+        if m > max_iterations:
+            raise _Bail()
+
+        ops: List[Tuple] = []
+        for op in self.ops:
+            tag = op[0]
+            if tag == "cpy":
+                _, sb, ss, n, db, ds, gather = op
+                ops.append(("cpy", ev(sb), ss, n, ev(db), ds, gather))
+            elif tag == "mvm":
+                _, vb, vs, rows, cols, ob, os_, mg, flags = op
+                ops.append(
+                    ("mvm", ev(vb), vs, rows, cols, ev(ob), os_, mg, flags)
+                )
+            elif tag == "qnt":
+                _, ab, as_, n, db, ds, qmul, qshift = op
+                ops.append(("qnt", ev(ab), as_, n, ev(db), ds, qmul, qshift))
+            elif tag == "add32":
+                _, ab, as_, bb, bs, n, db, ds = op
+                ops.append(("add32", ev(ab), as_, ev(bb), bs, n, ev(db), ds))
+            elif tag == "acc32":
+                _, ab, as_, n, db = op
+                ops.append(("acc32", ev(ab), as_, n, ev(db)))
+            elif tag == "fill":
+                _, value, funct, n, db, ds = op
+                ops.append(("fill", value, funct, n, ev(db), ds))
+            elif tag == "cmul":
+                _, ab, as_, scb, scs, ch, n, db, ds = op
+                ops.append(
+                    ("cmul", ev(ab), as_, ev(scb), scs, ch, n, ev(db), ds)
+                )
+            elif tag == "bin":
+                _, vop, ab, as_, bb, bs, n, db, ds = op
+                ops.append(
+                    ("bin", vop, ev(ab), as_, ev(bb), bs, n, ev(db), ds)
+                )
+            else:  # "un"
+                _, vop, ab, as_, n, db, ds = op
+                ops.append(("un", vop, ev(ab), as_, n, ev(db), ds))
+
+        writes = [(ev(b), s, l) for b, s, l in self.writes]
+        spans = [_span(b, s, l, m) for b, s, l in writes]
+        lsz = core.chip.memory.local_size
+        for lo, hi in spans:
+            if lo < 0 or hi > lsz:
+                raise _Bail()
+        # The pairwise collision verdict depends only on *relative*
+        # bases (steps, lengths and m are template constants), so it is
+        # memoised across entries that differ by a pure translation.
+        base0 = writes[0][0] if writes else 0
+        signature = (m, tuple(b - base0 for b, _, _ in writes))
+        collide = self._hazards.get(signature)
+        if collide is None:
+            collide = False
+            for i in range(len(writes)):
+                for j in range(i + 1, len(writes)):
+                    if writes[i] == writes[j]:
+                        continue
+                    if _regions_collide(
+                        writes[i], writes[j], spans[i], spans[j], m
+                    ):
+                        collide = True
+                        break
+                if collide:
+                    break
+            if len(self._hazards) > 64:
+                self._hazards.clear()
+            self._hazards[signature] = collide
+        if collide:
+            raise _Bail()
+        return (ops, writes), m
+
+
+def _template_key(delta: Tuple[int, ...]) -> Tuple[int, ...]:
+    """The delta components the affine walk consults: reg + sreg steps."""
+    return (
+        delta[_S_REGS:_S_REGS + 32] + delta[_S_SREGS:_S_SREGS + 16]
+    )
+
+
+def _template_for(core, inst: BlockInstance, delta: Tuple[int, ...]):
+    """Fetch (or build) the plan template for this instance + step delta.
+
+    Returns a :class:`_PlanTemplate`, ``None`` (the loop provably never
+    batches under this delta, regardless of entry state), or
+    :data:`_TPL_CONCRETE` (not symbolisable; use the concrete walk).
+    """
+    key = _template_key(delta)
+    entry = inst.templates.get(key, _TPL_UNSET)
+    if entry is _TPL_UNSET:
+        if len(inst.templates) > 4:
+            inst.templates.clear()
+        ENGINE_STATS["template_builds"] += 1
+        try:
+            entry = _build_template(core, inst, delta)
+        except _Bail:
+            entry = None
+        except _TemplateUnfit:
+            entry = _TPL_CONCRETE
+        inst.templates[key] = entry
+    return entry
+
+
+def _build_template(core, inst: BlockInstance, delta: Tuple[int, ...]):
+    """Symbolic twin of :func:`_plan_batch`.
+
+    Walks the loop body once with register *values* as linear
+    expressions over the entry slots while steps stay concrete (they
+    derive from the delta and immediates only).  Where the walk needs a
+    concrete value (an op length, a macro-group index, a multiplier),
+    the build-time value is *bound* and recorded as an instantiation
+    guard, so the template applies to every entry that agrees on those
+    values -- in practice all of them, since bound values are loop
+    parameters while operand bases stay symbolic.
+
+    Raises :class:`_Bail` only for bails that hold for every entry
+    state (pure walks, cached as "never batches") and
+    :class:`_TemplateUnfit` when the walk cannot be symbolised (cached
+    as "plan concretely").  Build-time macro-group shapes become
+    instantiation guards too, so a template never outlives the
+    environment it was derived from.
+    """
+    regs: List[Tuple[Tuple, int]] = [
+        (_e_slot(i), delta[_S_REGS + i]) for i in range(32)
+    ]
+    sregs: List[Tuple[Tuple, int]] = [
+        (_e_slot(32 + i), delta[_S_SREGS + i]) for i in range(16)
+    ]
+    entry_steps = [s for _, s in regs]
+    entry_ssteps = [s for _, s in sregs]
+    entry_regs = list(core.regs)
+    entry_sregs = list(core.sregs)
+    mgs = core.mgs
+    ops: List[Tuple] = []
+    writes: List[Tuple[Tuple, int, int]] = []
+    guards: List[Tuple[Tuple, int]] = []
+    mvm_guards: List[Tuple[int, int, int]] = []
+    pure = True  # no guard bound yet -> bails are entry-independent
+
+    def ev_entry(e: Tuple) -> int:
+        value, coeffs = e
+        for slot, k in coeffs:
+            value += k * (
+                entry_regs[slot] if slot < 32 else entry_sregs[slot - 32]
+            )
+        return value
+
+    def bind(e: Tuple) -> int:
+        """The concrete value of ``e``, guarded if entry-dependent."""
+        nonlocal pure
+        if _e_is_const(e):
+            return e[0]
+        value = ev_entry(e)
+        guards.append((e, value))
+        pure = False
+        return value
+
+    def definite_bail() -> None:
+        """Bail that is universal only while no value has been bound."""
+        raise _Bail() if pure else _TemplateUnfit()
+
+    def invariant(pair) -> Tuple:
+        e, s = pair
+        if s != 0:
+            definite_bail()
+        return e
+
+    body = inst.code[:-1]
+    branch = inst.code[-1]
+    for t in body:
+        op = t[0]
+        rs, rt, rd, re = t[1], t[2], t[3], t[4]
+        imm, off, funct, flags = t[5], t[6], t[7], t[8]
+        if op == int(Op.SC_ADD):
+            _wr(regs, rd, (_e_combine(regs[rs][0], regs[rt][0], 1),
+                           regs[rs][1] + regs[rt][1]))
+        elif op == int(Op.SC_SUB):
+            _wr(regs, rd, (_e_combine(regs[rs][0], regs[rt][0], -1),
+                           regs[rs][1] - regs[rt][1]))
+        elif op == int(Op.SC_MUL):
+            (a_e, a_s), (b_e, b_s) = regs[rs], regs[rt]
+            if a_s == 0:
+                # concrete result: (a0 * b0, a0 * b1)
+                if _e_is_const(b_e) and b_s == 0 and not _e_is_const(a_e):
+                    _wr(regs, rd, (_e_scale(a_e, b_e[0]), 0))
+                else:
+                    c = bind(a_e)
+                    _wr(regs, rd, (_e_scale(b_e, c), c * b_s))
+            elif b_s == 0:
+                # concrete result: (a0 * b0, a1 * b0)
+                c = bind(b_e)
+                _wr(regs, rd, (_e_scale(a_e, c), a_s * c))
+            else:
+                definite_bail()
+        elif op in (int(Op.SC_SLT), int(Op.SC_AND), int(Op.SC_OR),
+                    int(Op.SC_XOR), int(Op.SC_SLL), int(Op.SC_SRL)):
+            a = bind(invariant(regs[rs]))
+            b = bind(invariant(regs[rt]))
+            if op == int(Op.SC_SLT):
+                v = 1 if a < b else 0
+            elif op == int(Op.SC_AND):
+                v = a & b
+            elif op == int(Op.SC_OR):
+                v = a | b
+            elif op == int(Op.SC_XOR):
+                v = a ^ b
+            elif op == int(Op.SC_SLL):
+                v = a << (b & 31)
+            else:
+                v = (a & 0xFFFFFFFF) >> (b & 31)
+            _wr(regs, rd, (_e_const(v), 0))
+        elif op == int(Op.SC_ADDI):
+            _wr(regs, rt, (_e_shift(regs[rs][0], imm), regs[rs][1]))
+        elif op == int(Op.SC_MULI):
+            _wr(regs, rt, (_e_scale(regs[rs][0], imm), regs[rs][1] * imm))
+        elif op == int(Op.SC_SLTI):
+            v = 1 if bind(invariant(regs[rs])) < imm else 0
+            _wr(regs, rt, (_e_const(v), 0))
+        elif op == int(Op.SC_LUI):
+            _wr(regs, rt, (_e_const((off & 0xFFFF) << 16), 0))
+        elif op == int(Op.SC_ORI):
+            v = bind(invariant(regs[rs])) | (off & 0xFFFF)
+            _wr(regs, rt, (_e_const(v), 0))
+        elif op == int(Op.SC_ADDIW):
+            _wr(regs, rt, (_e_shift(regs[rs][0], off), regs[rs][1]))
+        elif op == int(Op.MV_G2S):
+            if not 0 <= imm < 16:
+                raise _Bail()
+            sregs[imm] = regs[rs]
+        elif op == int(Op.MV_S2G):
+            _wr(regs, rt, sregs[imm])
+        elif op in (int(Op.NOP), int(Op.SYNC)):
+            pass
+        elif op == int(Op.MEM_CPY):
+            n = bind(invariant(regs[rd]))
+            if n <= 0:
+                definite_bail()
+            sb, ss = regs[rs]
+            db, ds = _e_shift(regs[rt][0], off), regs[rt][1]
+            ops.append(("cpy", sb, ss, n, db, ds, None))
+            writes.append((db, ds, n))
+        elif op == int(Op.MEM_GATHER):
+            count = bind(invariant(regs[rd]))
+            chunk = bind(invariant(sregs[13]))
+            stride = bind(invariant(sregs[7]))
+            if count <= 0 or chunk <= 0 or stride <= 0:
+                definite_bail()
+            sb, ss = regs[rs]
+            db, ds = regs[rt]
+            span = (count - 1) * stride + chunk
+            nb = count * chunk
+            ops.append(("cpy", sb, ss, span, db, ds,
+                        (count, chunk, stride, nb)))
+            writes.append((db, ds, nb))
+        elif op == int(Op.CIM_MVM):
+            mg = bind(invariant(regs[rt]))
+            if not 0 <= mg < len(mgs) or mgs[mg] is None:
+                # Environment-dependent (another entry may have the MG
+                # loaded), so this cannot be cached as a definite bail.
+                raise _TemplateUnfit()
+            _, rows, cols = mgs[mg]
+            mvm_guards.append((mg, rows, cols))
+            vb, vs = regs[rs]
+            ob, os_ = regs[re]
+            ops.append(("mvm", vb, vs, rows, cols, ob, os_, mg, flags))
+            writes.append((ob, os_, 4 * cols))
+        elif op in _VEC_OPS:
+            n = bind(invariant(regs[re]))
+            if n <= 0:
+                definite_bail()
+            if op == int(Op.VEC_QNT):
+                qmul = max(1, bind(invariant(sregs[4])))
+                qshift = bind(invariant(sregs[5]))
+                ops.append(("qnt", regs[rs][0], regs[rs][1], n,
+                            regs[rd][0], regs[rd][1], qmul, qshift))
+                writes.append((regs[rd][0], regs[rd][1], n))
+            elif op == int(Op.VEC_ADD32):
+                ops.append(("add32", regs[rs][0], regs[rs][1],
+                            regs[rt][0], regs[rt][1], n,
+                            regs[rd][0], regs[rd][1]))
+                writes.append((regs[rd][0], regs[rd][1], 4 * n))
+            elif op == int(Op.VEC_ACC32):
+                if regs[rd][1] != 0:
+                    definite_bail()
+                ops.append(("acc32", regs[rs][0], regs[rs][1], n,
+                            regs[rd][0]))
+                writes.append((regs[rd][0], 0, 4 * n))
+            elif op == int(Op.VEC_FILL):
+                value = bind(invariant(sregs[6])) & 0xFF
+                value = value - 256 if value >= 128 else value
+                ops.append(("fill", value, funct, n,
+                            regs[rd][0], regs[rd][1]))
+                nb = 4 * n if funct == 4 else n
+                writes.append((regs[rd][0], regs[rd][1], nb))
+            elif op == int(Op.VEC_CMUL):
+                ch = bind(invariant(sregs[12]))
+                if ch <= 0 or n % ch:
+                    definite_bail()
+                ops.append(("cmul", regs[rs][0], regs[rs][1],
+                            regs[rt][0], regs[rt][1], ch, n,
+                            regs[rd][0], regs[rd][1]))
+                writes.append((regs[rd][0], regs[rd][1], n))
+            elif op in (int(Op.VEC_ADD), int(Op.VEC_SUB), int(Op.VEC_MUL),
+                        int(Op.VEC_MAX), int(Op.VEC_MIN)):
+                ops.append(("bin", op, regs[rs][0], regs[rs][1],
+                            regs[rt][0], regs[rt][1], n,
+                            regs[rd][0], regs[rd][1]))
+                writes.append((regs[rd][0], regs[rd][1], n))
+            else:
+                ops.append(("un", op, regs[rs][0], regs[rs][1], n,
+                            regs[rd][0], regs[rd][1]))
+                writes.append((regs[rd][0], regs[rd][1], n))
+        else:
+            definite_bail()
+
+    # Symbolic cross-check, the template twin of _plan_batch's numeric
+    # one: every end-of-body value must equal its entry value plus the
+    # measured step.  An identical expression match holds for every
+    # entry state (no runtime check needed); any other shape is guarded
+    # numerically -- the guard is exactly the concrete walk's check, so
+    # entries it rejects fall back to the concrete walk.
+    def cross_check(slot: int, pair, step0: int) -> None:
+        nonlocal pure
+        e, s = pair
+        if s != step0:
+            definite_bail()
+        if e == _e_shift(_e_slot(slot), step0):
+            return
+        diff = _e_combine(e, _e_slot(slot), -1)
+        if ev_entry(diff) != step0:
+            # The concrete walk bails this entry too, but the mismatch
+            # is entry-dependent; never cache it as a definite bail.
+            raise _TemplateUnfit()
+        guards.append((diff, step0))
+        pure = False
+
+    for i in range(32):
+        cross_check(i, regs[i], entry_steps[i])
+    for i in range(16):
+        cross_check(32 + i, sregs[i], entry_ssteps[i])
+
+    cnt_e, cnt_s = regs[branch[1]]
+    bound_e, bound_s = regs[branch[2]]
+    if cnt_s <= 0 or bound_s != 0:
+        definite_bail()
+    return _PlanTemplate(
+        ops, writes, (cnt_e, cnt_s), bound_e, guards, mvm_guards
+    )
 
 
 def _exec_batch(core, plan, m: int) -> None:

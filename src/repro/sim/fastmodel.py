@@ -21,7 +21,7 @@ relates to the cycle-level simulator and the golden functional model.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +41,14 @@ class FastReport:
     completion interval (``0`` means "no streaming analysis ran"; the
     throughput property then falls back to ``cycles``).
     ``stage_cycles`` always describes a single input.
+
+    ``shard_cycles`` / ``shard_edges`` record the per-shard single-input
+    occupancies and inter-chip transfer edges the streaming law needs,
+    so a cached single-input report can be re-priced under any arrival
+    process (:func:`serve_arrivals`) without re-analysis; a single-chip
+    report leaves them empty (one implicit shard of ``cycles``).
+    Reports derived under an arrival process additionally carry the
+    offered rate and nearest-rank latency percentiles.
     """
 
     cycles: int
@@ -50,6 +58,12 @@ class FastReport:
     stage_cycles: Dict[int, int] = field(default_factory=dict)
     batch: int = 1
     steady_interval_cycles: int = 0
+    shard_cycles: List[int] = field(default_factory=list)
+    shard_edges: List[Tuple[int, int, int]] = field(default_factory=list)
+    arrival_rate_inf_s: Optional[float] = None
+    p50_latency_cycles: int = 0
+    p95_latency_cycles: int = 0
+    p99_latency_cycles: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -100,11 +114,18 @@ class FastReport:
             },
             "batch": int(self.batch),
             "steady_interval_cycles": int(self.steady_interval_cycles),
+            "shard_cycles": [int(c) for c in self.shard_cycles],
+            "shard_edges": [list(edge) for edge in self.shard_edges],
+            "arrival_rate_inf_s": self.arrival_rate_inf_s,
+            "p50_latency_cycles": int(self.p50_latency_cycles),
+            "p95_latency_cycles": int(self.p95_latency_cycles),
+            "p99_latency_cycles": int(self.p99_latency_cycles),
         }
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FastReport":
         """Rebuild a report from :meth:`to_dict` output (e.g. a cache file)."""
+        rate = data.get("arrival_rate_inf_s")
         return cls(
             cycles=int(data["cycles"]),
             energy_breakdown_pj=dict(data["energy_breakdown_pj"]),
@@ -115,6 +136,15 @@ class FastReport:
             },
             batch=int(data.get("batch", 1)),
             steady_interval_cycles=int(data.get("steady_interval_cycles", 0)),
+            shard_cycles=[int(c) for c in data.get("shard_cycles", [])],
+            shard_edges=[
+                tuple(int(v) for v in edge)
+                for edge in data.get("shard_edges", [])
+            ],
+            arrival_rate_inf_s=None if rate is None else float(rate),
+            p50_latency_cycles=int(data.get("p50_latency_cycles", 0)),
+            p95_latency_cycles=int(data.get("p95_latency_cycles", 0)),
+            p99_latency_cycles=int(data.get("p99_latency_cycles", 0)),
         )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
@@ -193,6 +223,7 @@ def analyze_plan(
         macs=macs,
         clock_mhz=clock,
         stage_cycles=stage_cycles,
+        shard_cycles=[time_cursor],
     )
 
 
@@ -231,6 +262,70 @@ def stream_batched(report: FastReport, batch: int) -> FastReport:
         stage_cycles=dict(report.stage_cycles),
         batch=batch,
         steady_interval_cycles=interval,
+        shard_cycles=list(report.shard_cycles),
+        shard_edges=list(report.shard_edges),
+    )
+
+
+def serve_arrivals(
+    report: FastReport,
+    releases: Sequence[int],
+    link,
+    arrival_rate_inf_s: Optional[float] = None,
+) -> FastReport:
+    """Continuous-arrival continuation of a single-input report.
+
+    The fast-model mirror of the serving queueing law
+    (:mod:`repro.serve`): ``releases[i]`` is the cycle input ``i``
+    arrives, and the stream is re-priced through the same
+    :func:`repro.sim.multichip.streaming_schedule` recurrence the
+    cycle-level :class:`~repro.serve.Deployment` uses, over the
+    report's own per-shard occupancies (``shard_cycles`` /
+    ``shard_edges``; a report without them is one implicit shard).
+    ``link`` is the :class:`~repro.config.InterChipConfig` pricing the
+    transfer edges.
+
+    The derived report's makespan includes arrival idle time; latency
+    percentiles (nearest-rank over ``finish_i - release_i``) land in
+    the ``p50/p95/p99_latency_cycles`` fields.  Energy and MACs scale
+    linearly per input, exactly as :func:`stream_batched` -- with
+    all-zero releases the makespan is the batched schedule's, so the
+    PR-4 law is the ``releases == [0] * B`` special case.  An empty
+    release list yields an empty (zero-cycle, zero-energy) report.
+    """
+    from repro.serve import latency_percentile
+    from repro.sim.multichip import streaming_schedule
+
+    if report.batch != 1:
+        raise ConfigError(
+            f"serve_arrivals needs a single-input report, got batch="
+            f"{report.batch}"
+        )
+    batch = len(releases)
+    chip_cycles = list(report.shard_cycles) or [report.cycles]
+    rows = [list(chip_cycles) for _ in range(batch)]
+    _, _, input_finishes, makespan = streaming_schedule(
+        rows, report.shard_edges, link, list(releases)
+    )
+    latencies = [f - r for f, r in zip(input_finishes, releases)]
+    return FastReport(
+        cycles=makespan,
+        energy_breakdown_pj={
+            k: v * batch for k, v in report.energy_breakdown_pj.items()
+        },
+        macs=report.macs * batch,
+        clock_mhz=report.clock_mhz,
+        stage_cycles=dict(report.stage_cycles),
+        batch=batch,
+        steady_interval_cycles=(
+            report.steady_interval_cycles or report.cycles
+        ),
+        shard_cycles=list(report.shard_cycles),
+        shard_edges=list(report.shard_edges),
+        arrival_rate_inf_s=arrival_rate_inf_s,
+        p50_latency_cycles=latency_percentile(latencies, 50),
+        p95_latency_cycles=latency_percentile(latencies, 95),
+        p99_latency_cycles=latency_percentile(latencies, 99),
     )
 
 
@@ -290,5 +385,7 @@ def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
         stage_cycles=stage_cycles,
         batch=1,
         steady_interval_cycles=interval,
+        shard_cycles=list(chip_cycles),
+        shard_edges=[tuple(edge) for edge in edges],
     )
     return stream_batched(base, batch) if batch > 1 else base

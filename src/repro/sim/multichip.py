@@ -55,14 +55,20 @@ def streaming_schedule(
     batch_chip_cycles: Sequence[Sequence[int]],
     transfers: Sequence[TransferEdge],
     link: InterChipConfig,
+    releases: Optional[Sequence[int]] = None,
 ) -> Tuple[List[List[int]], List[List[int]], List[int], int]:
     """Timing recurrence for ``B`` inputs streamed through the pipeline.
 
     ``batch_chip_cycles[i][k]`` is chip ``k``'s execution time for input
     ``i``; ``transfers`` lists the per-input (src, dst, nbytes) edges in
-    schedule order (src < dst).  All inputs are available at cycle 0.
+    schedule order (src < dst).  ``releases[i]`` is the cycle input
+    ``i`` becomes available to the system (``None`` = every input is
+    available at cycle 0, the PR-4 batched special case -- the
+    continuous-arrival generalisation behind :mod:`repro.serve`).
     Resource constraints:
 
+    - input ``i`` cannot enter the first chip before ``releases[i]``
+      (inputs are served FIFO, in submission order);
     - chip ``k`` processes inputs in order: input ``i`` starts once chip
       ``k`` has finished input ``i-1`` *and* every inbound transfer for
       input ``i`` has fully arrived;
@@ -72,19 +78,32 @@ def streaming_schedule(
       occupying the link for ``serialization_cycles`` and arriving
       ``transfer_cycles`` after departure.
 
-    Returns ``(starts, finishes, input_finishes, makespan)``: per-input
-    per-chip start/finish cycles, the completion cycle of each input
-    (its last chip finish), and the stream makespan.  With one input
-    this degenerates to :func:`pipeline_schedule` exactly.
+    so ``start[i][k] = max(release_i if k == 0, finish[i-1][k], last
+    inbound arrival)``.  Returns ``(starts, finishes, input_finishes,
+    makespan)``: per-input per-chip start/finish cycles, the completion
+    cycle of each input (its last chip finish), and the stream makespan.
+    With one input released at 0 this degenerates to
+    :func:`pipeline_schedule` exactly; with all-zero releases it is
+    bit-identical to the ``releases=None`` batched schedule.
     """
+    if releases is not None:
+        if len(releases) != len(batch_chip_cycles):
+            raise SimulationError(
+                f"streaming_schedule got {len(batch_chip_cycles)} inputs "
+                f"but {len(releases)} release cycles"
+            )
+        if any(r < 0 for r in releases):
+            raise SimulationError("release cycles must be >= 0")
     n = len(batch_chip_cycles[0]) if batch_chip_cycles else 0
     link_free: Dict[Tuple[int, int], int] = {}
     prev_finish = [0] * n
     all_starts: List[List[int]] = []
     all_finishes: List[List[int]] = []
     input_finishes: List[int] = []
-    for chip_cycles in batch_chip_cycles:
+    for index, chip_cycles in enumerate(batch_chip_cycles):
         arrival = [0] * n
+        if releases is not None and n:
+            arrival[0] = releases[index]
         starts = [0] * n
         finishes = [0] * n
         for k in range(n):
@@ -179,6 +198,54 @@ def merge_shard_energy(
             + interchip_bytes * link.energy_pj_per_byte
         )
     return energy
+
+
+def assemble_stream_report(
+    arch: ArchConfig,
+    per_input_reports: Sequence[Sequence[SimulationReport]],
+    edges: Sequence[TransferEdge],
+    schedule: Tuple[List[List[int]], List[List[int]], List[int], int],
+    interchip_bytes_per_input: int = 0,
+) -> "MultiChipReport":
+    """Aggregate a streamed execution + its schedule into one report.
+
+    The single assembly shared by batched mode
+    (:meth:`MultiChipSimulator.run_streaming`), the legacy single-chip
+    sequential replay, and the serving API
+    (:class:`repro.serve.Deployment`): energies/MACs/instructions sum
+    over the stream, ``chip_reports`` / ``chip_starts`` /
+    ``chip_finishes`` describe the first input's pass, and the
+    steady-state interval is the closed-form bottleneck of the first
+    input's per-chip windows.
+    """
+    link = arch.interchip
+    starts, finishes, input_finishes, makespan = schedule
+    batch = len(per_input_reports)
+    flat = [r for reports in per_input_reports for r in reports]
+    total_bytes = interchip_bytes_per_input * batch
+    energy = merge_shard_energy(
+        [r.energy_breakdown_pj for r in flat], total_bytes, link
+    )
+    first = per_input_reports[0]
+    return MultiChipReport(
+        arch=arch,
+        cycles=makespan,
+        energy_breakdown_pj=energy,
+        macs=sum(r.macs for r in flat),
+        instructions=sum(r.instructions for r in flat),
+        chip_reports=list(first),
+        chip_starts=starts[0],
+        chip_finishes=finishes[0],
+        interchip_bytes=total_bytes,
+        noc_bytes=sum(r.noc_bytes for r in flat),
+        noc_byte_hops=sum(r.noc_byte_hops for r in flat),
+        utilization=_mean_utilization(first),
+        batch=batch,
+        input_finishes=input_finishes,
+        steady_interval_cycles=steady_state_interval(
+            [r.cycles for r in first], edges, link
+        ),
+    )
 
 
 def _mean_utilization(
@@ -428,26 +495,19 @@ class MultiChipSimulator:
             ),
         )
 
-    def run_streaming(
+    def execute_stream(
         self, inputs: Sequence, tensor: Optional[str] = None
-    ) -> Tuple[MultiChipReport, List[Dict[str, "np.ndarray"]]]:
-        """Stream a batch of inputs through the chip pipeline.
+    ) -> Tuple[List[List[SimulationReport]], List[Dict[str, "np.ndarray"]]]:
+        """Execute every input in full per-input isolation, no scheduling.
 
-        Each input executes in full isolation (fresh chip state per
-        input), so per-input outputs are bit-identical to independent
-        single-input runs; the streaming schedule then overlaps the
-        per-input chip windows -- input ``i+1`` occupies shard 0 while
-        input ``i`` occupies shard 1 -- bounding sustained throughput by
-        the bottleneck resource instead of the makespan.
-
-        Returns ``(report, per_input_outputs)``; ``self.chips`` is left
-        holding the final input's state, so :meth:`read_output` reads the
-        last input afterwards.
+        The functional half of streaming: each input runs on fresh chip
+        state (so its outputs are bit-identical to an independent
+        single-input run) and the per-input per-chip reports are
+        returned for a scheduler -- :func:`streaming_schedule` under any
+        arrival process -- to assemble timing from.  ``self.chips`` is
+        left holding the final input's state, so :meth:`read_output`
+        reads the last input afterwards.
         """
-        if not len(inputs):
-            raise SimulationError("run_streaming needs at least one input")
-        link = self.arch.interchip
-        edges = self._transfer_edges()
         output_names = list(self.model.graph.outputs)
         per_input_reports: List[List[SimulationReport]] = []
         per_input_outputs: List[Dict[str, "np.ndarray"]] = []
@@ -460,34 +520,42 @@ class MultiChipSimulator:
             per_input_outputs.append(
                 {name: self.read_output(name) for name in output_names}
             )
+        return per_input_reports, per_input_outputs
 
-        batch = len(per_input_reports)
-        starts, finishes, input_finishes, makespan = streaming_schedule(
+    def run_streaming(
+        self,
+        inputs: Sequence,
+        tensor: Optional[str] = None,
+        releases: Optional[Sequence[int]] = None,
+    ) -> Tuple[MultiChipReport, List[Dict[str, "np.ndarray"]]]:
+        """Stream a batch of inputs through the chip pipeline.
+
+        Each input executes in full isolation (fresh chip state per
+        input), so per-input outputs are bit-identical to independent
+        single-input runs; the streaming schedule then overlaps the
+        per-input chip windows -- input ``i+1`` occupies shard 0 while
+        input ``i`` occupies shard 1 -- bounding sustained throughput by
+        the bottleneck resource instead of the makespan.  ``releases``
+        optionally gates each input's entry into the first shard at its
+        arrival cycle (``None`` = all inputs available at cycle 0).
+
+        Returns ``(report, per_input_outputs)``; ``self.chips`` is left
+        holding the final input's state, so :meth:`read_output` reads the
+        last input afterwards.
+        """
+        if not len(inputs):
+            raise SimulationError("run_streaming needs at least one input")
+        link = self.arch.interchip
+        edges = self._transfer_edges()
+        per_input_reports, per_input_outputs = self.execute_stream(
+            inputs, tensor
+        )
+
+        schedule = streaming_schedule(
             [[r.cycles for r in reports] for reports in per_input_reports],
-            edges, link,
+            edges, link, releases,
         )
-        flat = [r for reports in per_input_reports for r in reports]
-        total_bytes = self.model.interchip_bytes() * batch
-        energy = merge_shard_energy(
-            [r.energy_breakdown_pj for r in flat], total_bytes, link
-        )
-        first = per_input_reports[0]
-        return MultiChipReport(
-            arch=self.arch,
-            cycles=makespan,
-            energy_breakdown_pj=energy,
-            macs=sum(r.macs for r in flat),
-            instructions=sum(r.instructions for r in flat),
-            chip_reports=first,
-            chip_starts=starts[0],
-            chip_finishes=finishes[0],
-            interchip_bytes=total_bytes,
-            noc_bytes=sum(r.noc_bytes for r in flat),
-            noc_byte_hops=sum(r.noc_byte_hops for r in flat),
-            utilization=_mean_utilization(first),
-            batch=batch,
-            input_finishes=input_finishes,
-            steady_interval_cycles=steady_state_interval(
-                [r.cycles for r in first], edges, link
-            ),
+        return assemble_stream_report(
+            self.arch, per_input_reports, edges, schedule,
+            self.model.interchip_bytes(),
         ), per_input_outputs

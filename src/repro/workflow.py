@@ -8,6 +8,13 @@ evaluating DNN workloads on digital CIM architectures"::
     result = run_workflow("resnet18", input_size=32)
     print(result.report)
 
+The one-shot entry points here (:func:`run_workflow` / :func:`simulate`)
+are **deprecated shims** over the serving API (:mod:`repro.serve`): a
+:class:`~repro.serve.Deployment` compiles once and serves many
+submissions, adds continuous-arrival streaming, and is the primary
+entry point of the package.  The shims keep their exact legacy
+semantics (bit-identical results) and remain supported.
+
 ``arch`` may be an :class:`~repro.config.ArchConfig` or a path to a JSON
 architecture file (the user-supplied configuration of Fig. 2); the same
 workflow is available from the command line as ``python -m repro run``.
@@ -40,8 +47,8 @@ from repro.compiler import (
 )
 from repro.graph.graph import ComputationGraph
 from repro.sim.chip import ChipSimulator
-from repro.sim.functional import golden_outputs, random_input
-from repro.sim.multichip import MultiChipReport, MultiChipSimulator
+from repro.sim.functional import random_input
+from repro.sim.multichip import MultiChipReport
 from repro.sim.report import SimulationReport
 
 
@@ -233,6 +240,55 @@ def _validate_outputs(
             )
 
 
+def _simulate_impl(
+    compiled: Union[CompiledModel, MultiChipModel],
+    input_data,
+    validate: bool,
+    seed: int,
+    engine: Optional[str],
+    batch: int,
+) -> WorkflowResult:
+    """Legacy one-shot semantics expressed over a :class:`Deployment`.
+
+    Shared by the deprecated :func:`simulate` / :func:`run_workflow`
+    shims and internal callers that must not emit deprecation warnings.
+    Batched submissions go through ``Deployment.submit`` with
+    back-to-back arrivals, which is bit-identical to the PR-4 batched
+    scheduler; the returned :class:`WorkflowResult` is unchanged.
+    """
+    from repro.serve import Deployment
+
+    deployment = Deployment(compiled, engine=engine)
+    if batch != 1 or _input_needs_batch_resolution(compiled.graph, input_data):
+        inputs = _resolve_batch_inputs(
+            compiled.graph, input_data, batch, seed
+        )
+        if len(inputs) > 1:
+            serve = deployment.submit(inputs, validate=validate)
+            return WorkflowResult(
+                compiled=compiled,
+                report=serve.stream_report,
+                outputs=serve.per_input_outputs[0],
+                golden=serve.golden,
+                validated=serve.validated,
+                batch=serve.batch,
+                per_input_outputs=list(serve.per_input_outputs),
+            )
+        input_data = inputs[0]
+    return deployment.run(input_data, validate=validate, seed=seed)
+
+
+def _deprecated(name: str, replacement: str) -> None:
+    import warnings
+
+    warnings.warn(
+        f"{name} is deprecated; use {replacement} (repro.serve) instead -- "
+        f"a Deployment compiles once and serves many submissions",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 def simulate(
     compiled: Union[CompiledModel, MultiChipModel],
     input_data: Optional[np.ndarray] = None,
@@ -242,6 +298,13 @@ def simulate(
     batch: int = 1,
 ) -> WorkflowResult:
     """Simulate a compiled model on the cycle-level simulator.
+
+    .. deprecated::
+        ``simulate`` recompiles nothing but still owns no state across
+        calls; prefer ``Deployment(compiled).run(...)`` /
+        ``Deployment(compiled).submit(...)`` (:mod:`repro.serve`), which
+        add continuous-arrival streaming and latency percentiles.  This
+        shim keeps the exact legacy semantics and stays supported.
 
     With ``validate=True`` (the execution-result check of Fig. 2) the
     simulated graph outputs are compared bit-exactly against the golden
@@ -263,167 +326,8 @@ def simulate(
     ``input_data`` may then be a sequence of ``B`` arrays (``None``
     draws seeds ``seed .. seed+B-1``).
     """
-    if batch != 1 or _input_needs_batch_resolution(compiled.graph, input_data):
-        inputs = _resolve_batch_inputs(
-            compiled.graph, input_data, batch, seed
-        )
-        if len(inputs) > 1:
-            return _simulate_batched(
-                compiled, inputs, validate=validate, engine=engine
-            )
-        input_data = inputs[0]
-    if isinstance(compiled, MultiChipModel):
-        return _simulate_multichip(
-            compiled, input_data, validate=validate, seed=seed, engine=engine
-        )
-    graph = compiled.graph
-    if input_data is None:
-        input_data = random_input(graph, seed=seed)
-    input_tensor = graph.input_operators[0].output
-    report, outputs = _run_single_chip(compiled, input_data, engine)
-
-    golden = None
-    validated = False
-    if validate:
-        golden = golden_outputs(graph, {input_tensor: input_data})
-        _validate_outputs(graph, outputs, golden, compiled.plan.strategy)
-        validated = True
-    return WorkflowResult(
-        compiled=compiled,
-        report=report,
-        outputs=outputs,
-        golden=golden,
-        validated=validated,
-    )
-
-
-def _simulate_multichip(
-    compiled: MultiChipModel,
-    input_data: Optional[np.ndarray],
-    validate: bool,
-    seed: int,
-    engine: Optional[str],
-) -> WorkflowResult:
-    """Multi-chip twin of :func:`simulate` (same validation contract)."""
-    graph = compiled.graph
-    if input_data is None:
-        input_data = random_input(graph, seed=seed)
-    input_tensor = graph.input_operators[0].output
-    sim = MultiChipSimulator(compiled, engine=engine)
-    sim.write_input(input_tensor, input_data)
-    report = sim.run()
-
-    outputs: Dict[str, np.ndarray] = {}
-    for name in graph.outputs:
-        info = graph.tensor(name)
-        outputs[name] = sim.read_output(name).reshape(info.shape)
-
-    golden = None
-    validated = False
-    if validate:
-        golden = golden_outputs(graph, {input_tensor: input_data})
-        _validate_outputs(
-            graph, outputs, golden, f"{compiled.num_chips} chips"
-        )
-        validated = True
-    return WorkflowResult(
-        compiled=compiled,
-        report=report,
-        outputs=outputs,
-        golden=golden,
-        validated=validated,
-    )
-
-
-def _simulate_batched(
-    compiled: Union[CompiledModel, MultiChipModel],
-    inputs: Sequence[np.ndarray],
-    validate: bool,
-    engine: Optional[str],
-) -> WorkflowResult:
-    """Throughput-mode twin of :func:`simulate` for an input stream.
-
-    A :class:`MultiChipModel` streams the inputs through the chip
-    pipeline (:meth:`MultiChipSimulator.run_streaming`); a single-chip
-    :class:`CompiledModel` replays them sequentially on fresh simulator
-    state per input.  Either way every input executes in full isolation,
-    per-input outputs are bit-identical to independent single-input
-    runs, and the result carries a :class:`MultiChipReport` with the
-    stream's makespan, per-input completion times, steady-state
-    throughput, and energy per inference.
-    """
-    from repro.sim.multichip import (
-        merge_shard_energy,
-        steady_state_interval,
-        streaming_schedule,
-    )
-
-    graph = compiled.graph
-    input_tensor = graph.input_operators[0].output
-    if isinstance(compiled, MultiChipModel):
-        sim = MultiChipSimulator(compiled, engine=engine)
-        report, per_input_outputs = sim.run_streaming(
-            inputs, tensor=input_tensor
-        )
-        label = f"{compiled.num_chips} chips, batch {len(inputs)}"
-    else:
-        # Sequential replay is the one-chip, zero-transfer case of the
-        # streaming law: the same schedule/energy helpers apply.
-        link = compiled.arch.interchip
-        reports = []
-        per_input_outputs = []
-        for data in inputs:
-            report, outputs = _run_single_chip(compiled, data, engine)
-            reports.append(report)
-            per_input_outputs.append(outputs)
-        starts, _, input_finishes, makespan = streaming_schedule(
-            [[r.cycles] for r in reports], [], link
-        )
-        report = MultiChipReport(
-            arch=compiled.arch,
-            cycles=makespan,
-            energy_breakdown_pj=merge_shard_energy(
-                [r.energy_breakdown_pj for r in reports], 0, link
-            ),
-            macs=sum(r.macs for r in reports),
-            instructions=sum(r.instructions for r in reports),
-            chip_reports=[reports[0]],
-            chip_starts=starts[0],
-            chip_finishes=[reports[0].cycles],
-            interchip_bytes=0,
-            noc_bytes=sum(r.noc_bytes for r in reports),
-            noc_byte_hops=sum(r.noc_byte_hops for r in reports),
-            utilization=dict(reports[0].utilization),
-            batch=len(inputs),
-            input_finishes=input_finishes,
-            steady_interval_cycles=steady_state_interval(
-                [reports[0].cycles], [], link
-            ),
-        )
-        label = f"{compiled.plan.strategy}, batch {len(inputs)}"
-
-    golden = None
-    validated = False
-    if validate:
-        for index, (data, outputs) in enumerate(
-            zip(inputs, per_input_outputs)
-        ):
-            expected = golden_outputs(graph, {input_tensor: data})
-            _validate_outputs(
-                graph, outputs, expected, f"{label}, input {index}"
-            )
-            if index == 0:
-                golden = expected
-        validated = True
-    return WorkflowResult(
-        compiled=compiled,
-        report=report,
-        outputs=per_input_outputs[0],
-        golden=golden,
-        validated=validated,
-        batch=len(inputs),
-        per_input_outputs=list(per_input_outputs),
-    )
+    _deprecated("simulate()", "Deployment.run()/Deployment.submit()")
+    return _simulate_impl(compiled, input_data, validate, seed, engine, batch)
 
 
 def run_workflow(
@@ -440,14 +344,18 @@ def run_workflow(
 ) -> WorkflowResult:
     """The one-call pipeline: build/compile/simulate/validate/report.
 
+    .. deprecated::
+        ``run_workflow`` recompiles the model on every call; prefer
+        ``Deployment(model, arch, chips=N)`` (:mod:`repro.serve`), which
+        compiles once and serves many submissions.  This shim keeps the
+        exact legacy semantics and stays supported.
+
     ``chips=N`` pipeline-shards the model across ``N`` identical chips
     (the multi-chip backend); results stay bit-exact vs the golden model.
     ``batch=B`` streams ``B`` independent inputs through the
     configuration (throughput mode): input ``i`` uses seed ``seed + i``
     and validates bit-exactly in isolation.
     """
+    _deprecated("run_workflow()", "Deployment")
     compiled = compile_model(model, arch, strategy, chips=chips, **model_kwargs)
-    return simulate(
-        compiled, input_data, validate=validate, seed=seed, engine=engine,
-        batch=batch,
-    )
+    return _simulate_impl(compiled, input_data, validate, seed, engine, batch)

@@ -445,3 +445,82 @@ class TestEngineSelection:
             small_test_arch(), {0: program, 1: program}, engine="block"
         )
         assert sim.cores[0]._blockprog is sim.cores[1]._blockprog
+
+
+class TestPlanTemplates:
+    """Plan-template caching: the affine walk + hazard analysis runs
+    once per loop-block instance; re-entries instantiate the cached
+    template.  Results must stay bit-identical (the fuzzer and every
+    equivalence test above run with templates active)."""
+
+    def test_nested_loop_reuses_template_across_entries(self):
+        """An inner counted loop re-entered by an outer loop with
+        translated base pointers: one template build, many hits."""
+        from repro.sim import blockengine as be
+
+        rows, cols, inner, outer = 16, 8, 24, 10
+        b = ProgramBuilder()
+        b.li(1, GLOBAL_BASE)
+        b.li(2, 0)
+        b.li(3, 2048)
+        b.emit("MEM_CPY", rs=1, rt=2, rd=3)
+        b.set_sreg(SReg.MVM_ROWS, 10, rows)
+        b.set_sreg(SReg.MVM_COLS, 10, cols)
+        b.li(4, 0)
+        b.li(5, 0)
+        b.emit("CIM_LOAD", rs=4, rt=5)
+        b.set_sreg(SReg.QMUL, 10, 3)
+        b.set_sreg(SReg.QSHIFT, 10, 6)
+        b.li(21, cols)
+        b.li(9, 0)        # outer counter
+        b.li(10, outer)   # outer bound
+        with b.loop(9, 10):
+            # per-entry translated pointers: in = 256 + 32*outer_i,
+            # out = 4096 + 256*outer_i
+            b.emit("SC_MULI", rs=9, rt=6, imm=32)
+            b.emit("SC_ADDIW", rs=6, rt=6, offset=256)
+            b.emit("SC_MULI", rs=9, rt=8, imm=256)
+            b.emit("SC_ADDIW", rs=8, rt=8, offset=4096)
+            b.li(7, 1024)   # accumulator (fixed)
+            b.li(1, 0)      # inner counter
+            b.li(2, inner)  # inner bound
+            with b.loop(1, 2):
+                b.emit("CIM_MVM", rs=6, rt=5, re=7, flags=0)
+                b.emit("VEC_QNT", rs=7, rd=8, re=21)
+                b.emit("SC_ADDIW", rs=6, rt=6, offset=1)
+                b.emit("SC_ADDIW", rs=8, rt=8, offset=cols)
+        b.halt()
+        rng = np.random.default_rng(17)
+        image = rng.integers(-128, 128, 4096, dtype=np.int8).view(np.uint8)
+
+        be.reset_stats()
+        interp, block = _run_both({0: b.finalize()}, image=image)
+        _assert_equal_state(interp, block)
+        stats = be.ENGINE_STATS
+        assert stats["batch_successes"] >= outer
+        # one symbolic walk serves every translated re-entry
+        assert stats["template_builds"] == 1
+        assert stats["template_hits"] >= outer
+        assert stats["template_misfits"] == 0
+
+    @pytest.mark.parametrize("model", TINY_MODELS)
+    def test_templates_active_and_bit_identical_on_models(self, model, arch):
+        from repro.sim import blockengine as be
+
+        compiled = compile_model(model, arch, "dp")
+        be.reset_stats()
+        a = simulate(compiled, validate=True, engine="block")
+        first = dict(be.ENGINE_STATS)
+        b = simulate(compiled, validate=True, engine="block")
+        second = dict(be.ENGINE_STATS)
+        if first["batch_successes"]:
+            # every successful batch went through a template...
+            assert first["template_hits"] == first["batch_successes"]
+            # ...and re-simulation reuses the cached templates instead
+            # of re-walking (content-addressed across simulator runs).
+            assert second["template_builds"] == first["template_builds"]
+            assert second["template_hits"] > first["template_hits"]
+        interp = simulate(compiled, validate=True, engine="interp")
+        assert _report_fields(a.report) == _report_fields(interp.report)
+        for name in compiled.graph.outputs:
+            assert np.array_equal(a.outputs[name], interp.outputs[name])

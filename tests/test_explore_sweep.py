@@ -542,3 +542,189 @@ class TestParetoFront:
                 and (q.energy_mj < p.energy_mj or q.tops > p.tops)
                 for q in result.points
             )
+
+
+class TestArrivalRateAxis:
+    def test_rate_axis_in_cross_product(self):
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(1, 4),
+            arrival_rates=(None, 250000.0),
+        )
+        assert len(spec) == 4
+        coords = [(p.batch, p.arrival_rate) for p in spec.points()]
+        assert coords == [
+            (1, None), (1, 250000.0), (4, None), (4, 250000.0),
+        ]
+
+    def test_rate_points_match_direct_evaluation(self):
+        arch = small_test_arch()
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(1, 4),
+            arrival_rates=(None, 250000.0),
+        )
+        result = run_sweep(spec)
+        for point in result.points:
+            direct = evaluate_fast(
+                "tiny_cnn", arch, "dp", 8, 10, batch=point.batch,
+                arrival_rate=point.arrival_rate,
+            )
+            assert point.report == direct.report
+        served = [p for p in result.points if p.arrival_rate is not None]
+        assert all(p.report.arrival_rate_inf_s == 250000.0 for p in served)
+        assert all(
+            p.report.p99_latency_cycles > 0 for p in served
+        )
+
+    def test_rate_points_share_one_base_analysis(self, monkeypatch):
+        import repro.explore as explore
+
+        calls = []
+        real_plan_graph = explore.plan_graph
+
+        def counting_plan_graph(*args, **kwargs):
+            calls.append(1)
+            return real_plan_graph(*args, **kwargs)
+
+        monkeypatch.setattr(explore, "plan_graph", counting_plan_graph)
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(1, 8),
+            arrival_rates=(None, 100000.0, 400000.0),
+        )
+        result = run_sweep(spec)
+        assert len(result.points) == 6
+        assert len(calls) == 1
+
+    def test_parallel_rate_sweep_equals_serial(self):
+        spec = tiny_spec(
+            models=("tiny_cnn", "tiny_resnet"), strategies=("dp",),
+            mg_sizes=None, flit_sizes=None, batch_sizes=(4,),
+            arrival_rates=(None, 250000.0),
+        )
+        serial = run_sweep(spec)
+        parallel = run_sweep(spec, workers=2)
+        for a, b in zip(serial.points, parallel.points):
+            assert a.report == b.report
+            assert a.arrival_rate == b.arrival_rate
+
+    def test_rate_in_cache_key_and_round_trip(self, tmp_path):
+        arch = small_test_arch()
+        assert point_key("tiny_cnn", arch, "dp", 8, 10, None, 1, 4, None) != \
+            point_key("tiny_cnn", arch, "dp", 8, 10, None, 1, 4, 250000.0)
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(4,), arrival_rates=(250000.0,),
+        )
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        second = run_sweep(spec, cache=cache)
+        assert second.stats.cache_hits == 1
+        assert first.points[0].report == second.points[0].report
+        assert second.points[0].report.p99_latency_cycles > 0
+
+    def test_point_dict_has_latency_columns(self):
+        arch = small_test_arch()
+        point = evaluate_fast(
+            "tiny_cnn", arch, "dp", 8, 10, batch=4, arrival_rate=250000.0
+        )
+        row = point.to_dict()
+        assert row["arrival_rate"] == 250000.0
+        assert row["p99_latency_ms"] == pytest.approx(
+            point.report.p99_latency_cycles
+            / (point.report.clock_mhz * 1e3)
+        )
+        plain = evaluate_fast("tiny_cnn", arch, "dp", 8, 10).to_dict()
+        assert plain["arrival_rate"] is None
+        assert plain["p99_latency_ms"] is None
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ConfigError, match="arrival rates"):
+            tiny_spec(arrival_rates=(0.0,))
+        with pytest.raises(ConfigError, match="arrival rates"):
+            tiny_spec(arrival_rates=())
+
+
+class TestSweepResume:
+    def _spec(self):
+        return tiny_spec(
+            models=("tiny_cnn", "tiny_resnet"), strategies=("dp", "generic"),
+            mg_sizes=None, flit_sizes=None,
+        )
+
+    class _Interrupt(RuntimeError):
+        pass
+
+    def _interrupt_after(self, n):
+        def progress(done, total, point):
+            if done >= n:
+                raise self._Interrupt()
+        return progress
+
+    def test_interrupted_sweep_resumes_mid_cross_product(self, tmp_path):
+        spec = self._spec()
+        cache = ResultCache(tmp_path)
+        with pytest.raises(self._Interrupt):
+            run_sweep(spec, cache=cache, progress=self._interrupt_after(3))
+        manifests = list(tmp_path.glob("manifests/*.jsonl"))
+        assert len(manifests) == 1
+        # restart: the three journalled points are resumed, the last
+        # point is evaluated, and the manifest is cleaned up on success.
+        result = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert result.stats.resumed_points == 3
+        assert result.stats.evaluated == 1
+        assert result.stats.cache_hits == 3
+        assert not list(tmp_path.glob("manifests/*.jsonl"))
+        # resumed results are bit-identical to a cold sweep
+        cold = run_sweep(self._spec())
+        for a, b in zip(result.points, cold.points):
+            assert a.report == b.report
+
+    def test_different_spec_does_not_resume(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(self._Interrupt):
+            run_sweep(
+                self._spec(), cache=cache, progress=self._interrupt_after(2)
+            )
+        other = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",),
+            mg_sizes=None, flit_sizes=None,
+        )
+        result = run_sweep(other, cache=ResultCache(tmp_path))
+        # the point itself is served from the shared result cache, but
+        # it is not counted as resumed sweep progress
+        assert result.stats.resumed_points == 0
+
+    def test_resume_disabled_writes_no_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        with pytest.raises(self._Interrupt):
+            run_sweep(
+                self._spec(), cache=cache,
+                progress=self._interrupt_after(2), resume=False,
+            )
+        assert not list(tmp_path.glob("manifests/*.jsonl"))
+
+    def test_corrupt_manifest_is_ignored(self, tmp_path):
+        from repro.explore_cache import SweepManifest, sweep_fingerprint
+
+        spec = self._spec()
+        fingerprint = sweep_fingerprint(spec.to_dict())
+        path = tmp_path / "manifests" / f"{fingerprint}.jsonl"
+        path.parent.mkdir(parents=True)
+        path.write_text("not json\n{\"key\": \"zzz\"}\n")
+        assert SweepManifest(tmp_path, fingerprint).load() == frozenset()
+        result = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert result.stats.resumed_points == 0
+        assert len(result.points) == len(spec)
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        from repro.explore_cache import SweepManifest
+
+        manifest = SweepManifest(tmp_path, "f" * 64)
+        manifest.mark("a" * 64)
+        manifest.mark("b" * 64)
+        with open(manifest.path, "a") as fh:
+            fh.write('{"key": "c')  # torn write from a crash
+        assert SweepManifest(tmp_path, "f" * 64).load() == \
+            frozenset({"a" * 64, "b" * 64})

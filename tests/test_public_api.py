@@ -1,0 +1,120 @@
+"""Public-API snapshot: the importable surface of ``repro`` is a contract.
+
+The exact set of names exported from ``repro`` is frozen here; adding a
+name means updating the snapshot *deliberately* in the same change, and
+removing or renaming one fails CI.  The deprecation shims
+(:func:`repro.run_workflow` / :func:`repro.simulate`) are part of that
+contract: they must keep working (bit-identical legacy semantics) while
+warning, and the serving API must be importable from the package root.
+"""
+
+import warnings
+
+import pytest
+
+import repro
+
+#: The frozen public surface.  Update deliberately, never by accident.
+PUBLIC_API = sorted([
+    # configuration
+    "ArchConfig",
+    "EnergyConfig",
+    "InterChipConfig",
+    "default_arch",
+    # serving API (primary entry points)
+    "Deployment",
+    "ServeReport",
+    "ArrivalProcess",
+    "BackToBack",
+    "FixedInterval",
+    "FixedRate",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "serve_arrivals",
+    # compilation
+    "compile_model",
+    "compile_sharded",
+    "shard_graph",
+    "ShardingSpec",
+    "MultiChipModel",
+    # simulation
+    "MultiChipSimulator",
+    "MultiChipReport",
+    "analyze_sharded",
+    "stream_batched",
+    "steady_state_interval",
+    "streaming_schedule",
+    "analyze_plan",
+    "FastReport",
+    # legacy one-shot workflow (deprecated shims, kept working)
+    "simulate",
+    "run_workflow",
+    "WorkflowResult",
+    # design-space exploration
+    "evaluate_fast",
+    "design_space",
+    "mg_flit_sweep",
+    "strategy_comparison",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "ResultCache",
+    "DesignPoint",
+    # errors
+    "ReproError",
+    "ConfigError",
+    "ISAError",
+    "CompileError",
+    "CapacityError",
+    "SimulationError",
+    "ValidationError",
+    # metadata
+    "__version__",
+])
+
+
+class TestPublicSurface:
+    def test_all_matches_snapshot(self):
+        assert sorted(repro.__all__) == PUBLIC_API
+
+    def test_every_name_importable(self):
+        for name in PUBLIC_API:
+            assert hasattr(repro, name), f"repro.{name} missing"
+            assert getattr(repro, name) is not None
+
+    def test_serving_names_live_in_serve_module(self):
+        from repro import serve
+
+        assert repro.Deployment is serve.Deployment
+        assert repro.ServeReport is serve.ServeReport
+        assert repro.FixedRate is serve.FixedRate
+
+
+class TestDeprecationShims:
+    def test_run_workflow_warns_and_works(self, arch):
+        with pytest.warns(DeprecationWarning, match="Deployment"):
+            result = repro.run_workflow(
+                "tiny_cnn", arch, input_size=8, num_classes=10
+            )
+        assert result.validated
+        assert result.report.cycles > 0
+
+    def test_simulate_warns_and_matches_deployment(self, arch):
+        import numpy as np
+
+        compiled = repro.compile_model(
+            "tiny_cnn", arch, "dp", input_size=8, num_classes=10
+        )
+        with pytest.warns(DeprecationWarning, match="Deployment"):
+            legacy = repro.simulate(compiled)
+        fresh = repro.Deployment(compiled).run()
+        assert legacy.report.cycles == fresh.report.cycles
+        for name in legacy.outputs:
+            assert np.array_equal(legacy.outputs[name], fresh.outputs[name])
+
+    def test_deployment_does_not_warn(self, arch):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            repro.Deployment(
+                "tiny_cnn", arch, input_size=8, num_classes=10
+            ).run()

@@ -1,0 +1,437 @@
+"""The serving API: Deployment sessions + continuous-arrival streaming.
+
+The contract under test (``docs/ARCHITECTURE.md``, "Serving sessions"):
+
+- **one queueing law**: ``start[i][k] = max(release_i if k == 0,
+  finish[i-1][k], inbound arrival)``; with all-zero releases the
+  schedule is bit-identical to the PR-4 batched schedule, so batched
+  mode is the ``BackToBack`` special case;
+- **session state**: the compiled model (programs + weights) persists
+  across submissions; chip state does not -- per-input outputs stay
+  bit-identical to independent runs under any arrival process;
+- **both fidelity tiers share the law**: the cyclesim and fast tiers
+  price the same schedule over their own per-shard occupancies, so
+  below the saturation rate p99 latency is flat in the batch size and
+  above it latency grows without bound -- in both tiers;
+- queueing edge cases: empty trace, single input, arrivals after
+  pipeline drain, ties between release and ready cycles.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    BackToBack,
+    Deployment,
+    FixedInterval,
+    FixedRate,
+    PoissonArrivals,
+    TraceArrivals,
+    compile_model,
+    serve_arrivals,
+)
+from repro.config import InterChipConfig
+from repro.errors import ConfigError
+from repro.serve import latency_percentile
+from repro.sim.fastmodel import analyze_plan, stream_batched
+from repro.sim.multichip import (
+    steady_state_interval,
+    streaming_schedule,
+)
+from repro.workflow import _simulate_impl
+
+
+def _deploy(arch, chips=1, tier="cyclesim", model="tiny_resnet"):
+    return Deployment(
+        model, arch, chips=chips, tier=tier, input_size=8, num_classes=10
+    )
+
+
+# ---------------------------------------------------------------------------
+# Arrival processes
+# ---------------------------------------------------------------------------
+
+class TestArrivalProcesses:
+    def test_back_to_back_is_all_zero(self):
+        assert BackToBack().release_cycles(4, 2.0) == [0, 0, 0, 0]
+
+    def test_fixed_interval(self):
+        assert FixedInterval(100).release_cycles(3, 2.0) == [0, 100, 200]
+
+    def test_fixed_rate_converts_to_cycles(self):
+        # 1e6 inf/s at 2 ns/cycle -> 500 cycles between arrivals.
+        assert FixedRate(1e6).release_cycles(3, 2.0) == [0, 500, 1000]
+
+    def test_poisson_is_seed_reproducible(self):
+        a = PoissonArrivals(1e6, seed=42).release_cycles(8, 2.0)
+        b = PoissonArrivals(1e6, seed=42).release_cycles(8, 2.0)
+        c = PoissonArrivals(1e6, seed=43).release_cycles(8, 2.0)
+        assert a == b
+        assert a != c
+        assert all(x >= 0 for x in a)
+        assert a == sorted(a)
+
+    def test_trace_length_must_match(self):
+        with pytest.raises(ConfigError, match="trace has 2 arrivals"):
+            TraceArrivals([0, 5]).release_cycles(3, 2.0)
+
+    def test_invalid_processes_rejected(self):
+        with pytest.raises(ConfigError, match="rate"):
+            FixedRate(0)
+        with pytest.raises(ConfigError, match="rate"):
+            PoissonArrivals(-1.0, seed=0)
+        with pytest.raises(ConfigError, match="interval"):
+            FixedInterval(-1)
+        with pytest.raises(ConfigError, match=">= 0"):
+            TraceArrivals([0, -3])
+
+    def test_latency_percentile_nearest_rank(self):
+        lat = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]
+        assert latency_percentile(lat, 50) == 50
+        assert latency_percentile(lat, 95) == 100
+        assert latency_percentile(lat, 99) == 100
+        assert latency_percentile([7], 99) == 7
+        assert latency_percentile([], 99) == 0
+
+
+# ---------------------------------------------------------------------------
+# The generalised schedule (shared by both tiers)
+# ---------------------------------------------------------------------------
+
+class TestReleaseSchedule:
+    LINK = InterChipConfig(
+        bandwidth_bytes_per_cycle=8, latency_cycles=100, energy_pj_per_byte=1.0
+    )
+
+    def test_zero_releases_bit_identical_to_batched(self):
+        for cycles, transfers in (
+            ([1000, 500], [(0, 1, 80)]),
+            ([300, 900, 200], [(0, 1, 256), (1, 2, 64)]),
+            ([750], []),
+        ):
+            batched = streaming_schedule([cycles] * 4, transfers, self.LINK)
+            served = streaming_schedule(
+                [cycles] * 4, transfers, self.LINK, [0, 0, 0, 0]
+            )
+            assert served == batched
+
+    def test_release_gates_entry_to_first_chip(self):
+        starts, finishes, input_finishes, makespan = streaming_schedule(
+            [[100]] * 2, [], self.LINK, [0, 400]
+        )
+        # Input 1 arrives long after input 0 drained: no queueing.
+        assert starts[1][0] == 400
+        assert input_finishes == [100, 500]
+        assert makespan == 500
+
+    def test_tie_between_release_and_ready_cycle(self):
+        # Input 1 released exactly when chip 0 frees up: both
+        # constraints bind at once, service starts with zero queue.
+        starts, _, input_finishes, _ = streaming_schedule(
+            [[100]] * 2, [], self.LINK, [0, 100]
+        )
+        assert starts[1][0] == 100
+        assert input_finishes == [100, 200]
+        # One cycle later in the release: still no queue, shifted start.
+        starts, _, _, _ = streaming_schedule(
+            [[100]] * 2, [], self.LINK, [0, 101]
+        )
+        assert starts[1][0] == 101
+        # One cycle earlier: the pipeline is still busy, so it queues.
+        starts, _, _, _ = streaming_schedule(
+            [[100]] * 2, [], self.LINK, [0, 99]
+        )
+        assert starts[1][0] == 100
+
+    def test_release_count_must_match_batch(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="release cycles"):
+            streaming_schedule([[10]] * 2, [], self.LINK, [0])
+        with pytest.raises(SimulationError, match=">= 0"):
+            streaming_schedule([[10]], [], self.LINK, [-1])
+
+
+# ---------------------------------------------------------------------------
+# Deployment sessions (cyclesim tier)
+# ---------------------------------------------------------------------------
+
+class TestDeploymentSessions:
+    def test_all_zero_trace_reproduces_batched_streaming(self, arch):
+        """Acceptance: run_trace([0]*B) == PR-4 batched makespan and
+        bit-identical outputs."""
+        deployment = _deploy(arch, chips=2)
+        compiled = compile_model(
+            "tiny_resnet", arch, "dp", chips=2, input_size=8, num_classes=10
+        )
+        legacy = _simulate_impl(compiled, None, True, 0, None, 4)
+        served = deployment.run_trace([0, 0, 0, 0])
+        assert served.makespan_cycles == legacy.report.cycles
+        assert served.input_finishes == legacy.report.input_finishes
+        assert served.stream_report.to_dict() == legacy.report.to_dict()
+        for i in range(4):
+            for name in legacy.per_input_outputs[i]:
+                assert np.array_equal(
+                    served.per_input_outputs[i][name],
+                    legacy.per_input_outputs[i][name],
+                )
+
+    def test_outputs_isolated_under_any_arrival_process(self, arch):
+        """Weights persist across submissions; activations do not --
+        outputs are bit-identical to independent runs regardless of
+        arrival timing."""
+        deployment = _deploy(arch, chips=2)
+        served = deployment.submit(
+            batch=3, arrivals=PoissonArrivals(1e5, seed=3)
+        )
+        assert served.validated
+        for i in range(3):
+            single = deployment.run(seed=i)
+            for name, expected in single.outputs.items():
+                assert np.array_equal(
+                    served.per_input_outputs[i][name], expected
+                )
+
+    def test_compile_once_submit_many(self, arch):
+        deployment = _deploy(arch, chips=2)
+        first = deployment.submit(batch=2)
+        second = deployment.submit(batch=2)
+        assert first.makespan_cycles == second.makespan_cycles
+        # and the deployment adopts an existing compiled model as-is
+        compiled = compile_model(
+            "tiny_resnet", arch, "dp", chips=2, input_size=8, num_classes=10
+        )
+        adopted = Deployment(compiled)
+        assert adopted.num_chips == 2
+        assert adopted.submit(batch=2).makespan_cycles == first.makespan_cycles
+        with pytest.raises(ConfigError, match="compiled model"):
+            Deployment(compiled, arch)
+        # compile keywords cannot silently contradict an adopted model
+        with pytest.raises(ConfigError, match="compile keywords"):
+            Deployment(compiled, chips=4)
+        with pytest.raises(ConfigError, match="compile keywords"):
+            Deployment(compiled, strategy="generic")
+        with pytest.raises(ConfigError, match="compile keywords"):
+            Deployment(compiled, input_size=16)
+
+    def test_empty_trace_yields_empty_report(self, arch):
+        report = _deploy(arch, chips=2).run_trace([])
+        assert report.batch == 0
+        assert report.makespan_cycles == 0
+        assert report.latency_cycles == []
+        assert report.p99_latency_cycles == 0
+        assert report.throughput_inf_per_s == 0.0
+        assert report.per_input_outputs == []
+
+    def test_single_input_degenerates_to_latency_mode(self, arch):
+        deployment = _deploy(arch, chips=2)
+        single = deployment.run()
+        served = deployment.submit(batch=1)
+        assert served.batch == 1
+        assert served.makespan_cycles == single.report.cycles
+        assert served.latency_cycles == [single.report.cycles]
+        assert served.p50_latency_cycles == served.p99_latency_cycles \
+            == single.report.cycles
+        assert served.queue_cycles == [0]
+
+    def test_arrival_after_pipeline_drain(self, arch):
+        deployment = _deploy(arch, chips=2)
+        single = deployment.run().report.cycles
+        served = deployment.run_trace([0, 3 * single])
+        # The second input finds an idle pipeline: no queueing, same
+        # latency as the first, makespan = its release + one service.
+        assert served.queue_cycles == [0, 0]
+        assert served.latency_cycles == [single, single]
+        assert served.makespan_cycles == 3 * single + single
+
+    def test_queueing_metrics_under_overload(self, arch):
+        deployment = _deploy(arch, chips=2)
+        interval = deployment.submit(batch=1).steady_interval_cycles
+        served = deployment.submit(
+            batch=4, arrivals=FixedInterval(max(1, interval // 4))
+        )
+        assert served.queue_cycles[0] == 0
+        # Arrivals outpace the bottleneck: the queue builds monotonically.
+        assert all(
+            b >= a for a, b in zip(served.queue_cycles, served.queue_cycles[1:])
+        )
+        assert served.queue_cycles[-1] > 0
+        assert max(served.shard_utilization) <= 1.0
+        payload = served.to_dict()
+        assert payload["queue_cycles"] == served.queue_cycles
+        assert payload["p99_latency_cycles"] == served.p99_latency_cycles
+
+    def test_run_matches_legacy_single_input(self, arch):
+        compiled = compile_model(
+            "tiny_cnn", arch, "dp", input_size=8, num_classes=10
+        )
+        legacy = _simulate_impl(compiled, None, True, 0, None, 1)
+        result = Deployment(compiled).run()
+        assert result.report.cycles == legacy.report.cycles
+        for name in legacy.outputs:
+            assert np.array_equal(result.outputs[name], legacy.outputs[name])
+
+    def test_invalid_submissions_rejected(self, arch):
+        deployment = _deploy(arch)
+        with pytest.raises(ConfigError, match="batch"):
+            deployment.submit(batch=0)
+        with pytest.raises(ConfigError, match="trace has"):
+            deployment.submit(batch=3, arrivals=TraceArrivals([0, 1]))
+        with pytest.raises(ConfigError, match="tier"):
+            Deployment("tiny_cnn", arch, tier="magic",
+                       input_size=8, num_classes=10)
+        with pytest.raises(ConfigError, match="cycle-level"):
+            _deploy(arch, tier="fast").run()
+
+
+# ---------------------------------------------------------------------------
+# Latency percentiles vs offered load (the serving question, both tiers)
+# ---------------------------------------------------------------------------
+
+class TestLatencyUnderLoad:
+    @pytest.mark.parametrize("tier", ("cyclesim", "fast"))
+    def test_p99_flat_below_saturation_grows_above(self, arch, tier):
+        """Acceptance: below the bottleneck interval p99 stays flat as B
+        grows; above it, latency grows without bound -- in both tiers."""
+        deployment = _deploy(arch, chips=2, tier=tier)
+        interval = deployment.submit(batch=1).steady_interval_cycles
+        assert interval > 0
+
+        below_small = deployment.submit(
+            batch=3, arrivals=FixedInterval(2 * interval)
+        )
+        below_large = deployment.submit(
+            batch=9, arrivals=FixedInterval(2 * interval)
+        )
+        assert below_small.p99_latency_cycles == below_large.p99_latency_cycles
+
+        above_small = deployment.submit(
+            batch=3, arrivals=FixedInterval(max(1, interval // 2))
+        )
+        above_large = deployment.submit(
+            batch=9, arrivals=FixedInterval(max(1, interval // 2))
+        )
+        assert above_large.p99_latency_cycles > above_small.p99_latency_cycles
+        # ... and the queue keeps growing input over input (unbounded).
+        lat = above_large.latency_cycles
+        assert lat[-1] > lat[len(lat) // 2] > lat[0]
+
+    @pytest.mark.parametrize("tier", ("cyclesim", "fast"))
+    def test_interval_is_closed_form_bottleneck(self, arch, tier):
+        """Both tiers report the same closed-form law over their own
+        shard occupancies -- the tier-agreement half of the contract."""
+        deployment = _deploy(arch, chips=2, tier=tier)
+        report = deployment.submit(batch=4)
+        assert report.steady_interval_cycles == steady_state_interval(
+            report.shard_cycles, deployment._transfer_edges(), arch.interchip
+        )
+        # At saturation (back-to-back), completions pace at the interval.
+        diffs = [
+            b - a
+            for a, b in zip(report.input_finishes, report.input_finishes[1:])
+        ]
+        assert diffs == [report.steady_interval_cycles] * 3
+
+
+# ---------------------------------------------------------------------------
+# Fast-model mirror (serve_arrivals)
+# ---------------------------------------------------------------------------
+
+class TestFastModelServe:
+    def test_zero_releases_match_stream_batched(self, arch):
+        compiled = compile_model(
+            "tiny_cnn", arch, "dp", input_size=8, num_classes=10
+        )
+        base = analyze_plan(compiled.plan)
+        batched = stream_batched(base, 5)
+        served = serve_arrivals(base, [0] * 5, arch.interchip)
+        assert served.cycles == batched.cycles
+        assert served.energy_breakdown_pj == batched.energy_breakdown_pj
+        assert served.macs == batched.macs
+        assert served.batch == 5
+
+    def test_percentiles_populate_and_round_trip(self, arch):
+        from repro.sim.fastmodel import FastReport
+
+        compiled = compile_model(
+            "tiny_cnn", arch, "dp", input_size=8, num_classes=10
+        )
+        base = analyze_plan(compiled.plan)
+        served = serve_arrivals(
+            base, [0, 10, 10_000_000], arch.interchip,
+            arrival_rate_inf_s=123.0,
+        )
+        assert served.p50_latency_cycles == base.cycles
+        assert served.p99_latency_cycles == 2 * base.cycles - 10
+        assert served.arrival_rate_inf_s == 123.0
+        assert FastReport.from_dict(served.to_dict()) == served
+
+    def test_fast_tier_inputs_set_batch_implicitly(self, arch):
+        deployment = _deploy(arch, chips=2, tier="fast")
+        shape = deployment.graph.tensor(
+            deployment.graph.input_operators[0].output
+        ).shape
+        inputs = [np.zeros(shape, np.int8) for _ in range(3)]
+        served = deployment.submit(inputs)
+        assert served.batch == 3
+        assert served.makespan_cycles == \
+            deployment.submit(batch=3).makespan_cycles
+        with pytest.raises(ConfigError, match="shape"):
+            deployment.submit([np.zeros((2, 2), np.int8)])
+
+    def test_empty_releases_and_bad_input(self, arch):
+        compiled = compile_model(
+            "tiny_cnn", arch, "dp", input_size=8, num_classes=10
+        )
+        base = analyze_plan(compiled.plan)
+        empty = serve_arrivals(base, [], arch.interchip)
+        assert empty.batch == 0 and empty.cycles == 0
+        with pytest.raises(ConfigError, match="single-input"):
+            serve_arrivals(stream_batched(base, 2), [0, 0], arch.interchip)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+class TestServeCLI:
+    def test_serve_rate(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "tiny_resnet", "--preset", "small", "--input-size", "8",
+            "--chips", "2", "--batch", "3", "--rate", "200000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "latency p99" in out
+        assert "shard utilization" in out
+        assert "validated : bit-exact vs golden model" in out
+
+    def test_serve_trace_and_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0 500 9000\n")
+        out_json = tmp_path / "serve.json"
+        assert main([
+            "serve", "tiny_cnn", "--preset", "small", "--input-size", "8",
+            "--trace", str(trace), "--json", str(out_json),
+        ]) == 0
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["report"]["batch"] == 3
+        assert payload["report"]["releases"] == [0, 500, 9000]
+        assert "p99_latency_cycles" in payload["report"]
+
+    def test_serve_fast_tier(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "serve", "tiny_resnet", "--preset", "small", "--input-size", "8",
+            "--chips", "2", "--batch", "4", "--tier", "fast",
+            "--interval", "1000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "tier              : fast" in out
+        assert "validated" not in out
