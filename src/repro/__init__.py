@@ -22,7 +22,13 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   :class:`~repro.serve.Deployment` compiles once and serves many
   submissions under an explicit :class:`~repro.serve.ArrivalProcess`
   (back-to-back, fixed-rate, Poisson, recorded trace), reporting
-  latency percentiles and per-shard utilisation.
+  latency percentiles and per-shard utilisation; a
+  :class:`~repro.serve.Fleet` feeds one arrival stream to R replicas
+  under round-robin or join-shortest-queue dispatch.
+- :mod:`repro.artifact` -- the shippable compile product: a compiled
+  model serialized to a single content-addressed ``.artifact`` file
+  (``save_artifact`` / ``load_artifact`` / ``Deployment.load``), so a
+  serving session never re-runs the compiler.
 - :mod:`repro.workflow` -- the legacy one-shot `compile -> simulate ->
   report` pipeline (deprecated shims over :mod:`repro.serve`, kept
   working).
@@ -30,13 +36,15 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   :class:`~repro.explore.SweepSpec` cross products, parallel execution and
   the on-disk result cache (:mod:`repro.explore_cache`).
 - :mod:`repro.cli`     -- the ``python -m repro`` command line
-  (`run` / `serve` / `sweep` / `compare` / `report`).
+  (`run` / `compile` / `inspect` / `serve` / `sweep` / `compare` /
+  `report`).
 
 See ``README.md`` for a quickstart and ``docs/ARCHITECTURE.md`` for the
 compilation/simulation stack in detail.
 """
 
 from repro.errors import (
+    ArtifactError,
     CapacityError,
     CompileError,
     ConfigError,
@@ -45,6 +53,7 @@ from repro.errors import (
     SimulationError,
     ValidationError,
 )
+from repro.artifact import inspect_artifact, load_artifact, save_artifact
 from repro.config import ArchConfig, EnergyConfig, InterChipConfig, default_arch
 from repro.compiler import (
     MultiChipModel,
@@ -68,6 +77,7 @@ from repro.sim.fastmodel import (
     analyze_plan,
     analyze_sharded,
     serve_arrivals,
+    serve_fleet,
     stream_batched,
 )
 from repro.sim.multichip import (
@@ -83,6 +93,8 @@ from repro.serve import (
     Deployment,
     FixedInterval,
     FixedRate,
+    Fleet,
+    FleetReport,
     PoissonArrivals,
     ServeReport,
     TraceArrivals,
@@ -104,6 +116,12 @@ __all__ = [
     "PoissonArrivals",
     "TraceArrivals",
     "serve_arrivals",
+    "serve_fleet",
+    "Fleet",
+    "FleetReport",
+    "save_artifact",
+    "load_artifact",
+    "inspect_artifact",
     "compile_model",
     "compile_sharded",
     "shard_graph",
@@ -134,6 +152,7 @@ __all__ = [
     "ISAError",
     "CompileError",
     "CapacityError",
+    "ArtifactError",
     "SimulationError",
     "ValidationError",
     "__version__",

@@ -1,22 +1,32 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands expose the serving API and the design-space
+Seven subcommands expose the serving API and the design-space
 exploration engine without writing any Python:
 
 - ``run``     -- compile one model and execute it on the cycle-accurate
   simulator, validating against the golden model (Fig. 2 workflow);
   ``--chips N`` pipeline-shards the model across N chips, ``--batch B``
   streams B inputs through it (throughput mode);
+- ``compile`` -- compile once and write a content-addressed
+  ``.artifact`` file (:mod:`repro.artifact`): the shippable compile
+  product ``run``/``serve`` and :meth:`repro.serve.Deployment.load`
+  accept in place of a model name;
+- ``inspect`` -- print the manifest of an ``.artifact`` file (digest,
+  arch fingerprint, per-chip programs/images) without loading weights
+  into a simulator;
 - ``serve``   -- deploy one model (compile once) and drive it with a
   stream of inputs under an explicit arrival process (``--rate`` /
   ``--interval`` / ``--poisson`` / ``--trace``), reporting p50/p95/p99
   latency, queueing delay, per-shard utilisation and sustained
   throughput; ``--tier fast`` prices the same schedule analytically;
+  ``--replicas R`` round-robins (or ``--policy jsq`` queue-balances)
+  the stream across R replicas of the deployment;
 - ``sweep``   -- evaluate a cross-product design space with the fast
   analytical model, in parallel and through the on-disk result cache
   (``--chips`` adds the multi-chip axis, ``--batch`` the streaming
-  batch axis, ``--arrival-rates`` the serving axis; an interrupted
-  sweep resumes mid-cross-product via the sweep manifest);
+  batch axis, ``--arrival-rates`` the serving axis, ``--replicas``
+  the fleet axis; an interrupted sweep resumes mid-cross-product via
+  the sweep manifest);
 - ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
   per compilation strategy);
 - ``report``  -- re-render / convert a saved ``sweep --json`` file
@@ -25,8 +35,11 @@ exploration engine without writing any Python:
 Examples::
 
     python -m repro run tiny_resnet --preset small --chips 2
-    python -m repro serve tiny_resnet --preset small --chips 2 \\
-        --batch 16 --rate 200000
+    python -m repro compile tiny_resnet --preset small --chips 2 \\
+        -o tiny_resnet.artifact
+    python -m repro inspect tiny_resnet.artifact
+    python -m repro serve tiny_resnet.artifact --preset small \\
+        --batch 16 --rate 200000 --replicas 4 --policy jsq
     python -m repro sweep --models resnet18 --strategies generic,dp \\
         --mg-sizes 4,8,12,16 --flit-sizes 8,16 --workers 4 --json out.json
     python -m repro compare --models resnet18,mobilenetv2
@@ -52,6 +65,7 @@ _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
     "model", "strategy", "input_size", "chips", "batch", "arrival_rate",
+    "replicas",
     "mg_size", "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
     "throughput_inf_s", "energy_per_inf_mj",
     "p50_latency_ms", "p95_latency_ms", "p99_latency_ms", "cached",
@@ -59,8 +73,9 @@ _POINT_COLUMNS = (
 
 #: Fallbacks for sweep-result rows written before the column existed
 #: (pre-batch files lack batch/throughput/energy-per-inference,
-#: pre-serve files lack arrival-rate/latency-percentile columns).
-_COLUMN_DEFAULTS = {"chips": 1, "batch": 1}
+#: pre-serve files lack arrival-rate/latency-percentile columns,
+#: pre-fleet files lack the replicas column).
+_COLUMN_DEFAULTS = {"chips": 1, "batch": 1, "replicas": 1}
 
 _BEST_METRICS = (
     "tops", "throughput_inf_s", "energy_mj", "energy_per_inf_mj", "cycles",
@@ -153,7 +168,7 @@ def _optional_cell(row: Dict[str, Any], key: str, fmt: str, width: int) -> str:
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
     header = (
         f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'B':>4s}"
-        f"{'rate/s':>9s}{'MG':>4s}{'flit':>6s}"
+        f"{'rate/s':>9s}{'R':>3s}{'MG':>4s}{'flit':>6s}"
         f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}"
         f"{'inf/s':>11s}{'mJ/inf':>9s}{'p99 ms':>9s}{'cache':>7s}"
     )
@@ -163,6 +178,7 @@ def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
             f"{row.get('chips', 1):>6d}{row.get('batch', 1):>4d}"
             f"{_optional_cell(row, 'arrival_rate', ',.0f', 9)}"
+            f"{row.get('replicas', 1):>3d}"
             f"{row['mg_size']:>4d}{row['flit_bytes']:>6d}"
             f"{row['cycles']:>12,d}{row['time_ms']:>9.2f}"
             f"{row['energy_mj']:>9.2f}{row['tops']:>8.2f}"
@@ -194,8 +210,12 @@ def _write_json(payload: Dict[str, Any], path: str) -> None:
 # ---------------------------------------------------------------------------
 
 def _build_deployment(args, tier: str = "cyclesim"):
-    from repro.serve import Deployment
+    from repro.serve import Deployment, _is_artifact_path
 
+    if _is_artifact_path(args.model):
+        # An artifact carries its own graph, sharding and programs; the
+        # session arch is cross-checked against its fingerprint.
+        return Deployment.load(args.model, arch=_resolve_arch(args), tier=tier)
     return Deployment(
         args.model,
         arch=_resolve_arch(args),
@@ -249,6 +269,68 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _cmd_compile(args) -> int:
+    from repro.artifact import inspect_artifact, save_artifact
+    from repro.workflow import compile_model
+
+    model = args.model
+    if model.endswith(".json"):
+        from repro.graph.onnx_like import load_graph
+
+        model = load_graph(model)
+    compiled = compile_model(
+        model,
+        arch=_resolve_arch(args),
+        strategy=args.strategy,
+        chips=args.chips,
+        input_size=args.input_size,
+        num_classes=args.num_classes,
+    )
+    digest = save_artifact(compiled, args.output)
+    info = inspect_artifact(args.output)
+    print(
+        f"compiled  : {args.model} ({args.strategy}, "
+        f"{args.chips} chip{'s' if args.chips != 1 else ''})"
+    )
+    print(f"artifact  : {args.output} ({info['file_bytes']:,d} bytes)")
+    print(f"digest    : sha256:{digest}")
+    print(f"arch      : {info['arch_fingerprint']}")
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    from repro.artifact import inspect_artifact
+
+    info = inspect_artifact(args.artifact)
+    if args.json:
+        print(json.dumps(info, indent=2))
+        return 0
+    model = info["model"]
+    print(f"artifact  : {info['path']} ({info['file_bytes']:,d} bytes)")
+    print(f"format    : v{info['format_version']}")
+    print(f"digest    : sha256:{info['digest']}")
+    print(f"arch      : {info['arch_fingerprint']}")
+    print(
+        f"model     : {model['name']} ({model['strategy']}, "
+        f"{model['chips']} chip{'s' if model['chips'] != 1 else ''})"
+    )
+    for index, chip in enumerate(info["chips"]):
+        print(
+            f"  chip {index}  : {chip['num_instructions']:,d} instructions, "
+            f"{chip['image_bytes']:,d} B image, "
+            f"{chip['global_tensors']} global tensors, "
+            f"{chip['fast_cycles']:,d} fast-model cycles"
+        )
+    if info["transfers"]:
+        print(
+            f"transfers : {info['transfers']} inter-chip edges, "
+            f"{info['interchip_bytes']:,d} B per inference"
+        )
+    if info["isa_extensions"]:
+        print(f"isa ext   : {', '.join(info['isa_extensions'])}")
+    return 0
+
+
 def _read_trace(path: str) -> List[int]:
     """Release cycles from a trace file: JSON array or whitespace ints."""
     text = Path(path).read_text().strip()
@@ -282,13 +364,29 @@ def _cmd_serve(args) -> int:
     else:
         arrivals = BackToBack()
 
-    deployment = _build_deployment(args, tier=args.tier)
-    print(deployment.summary())
+    if args.replicas > 1:
+        from repro.serve import Fleet, _is_artifact_path
+
+        if _is_artifact_path(args.model):
+            server = Fleet(
+                args.model, arch=_resolve_arch(args),
+                replicas=args.replicas, policy=args.policy, tier=args.tier,
+            )
+        else:
+            server = Fleet(
+                args.model, arch=_resolve_arch(args),
+                replicas=args.replicas, policy=args.policy,
+                chips=args.chips, strategy=args.strategy, tier=args.tier,
+                input_size=args.input_size, num_classes=args.num_classes,
+            )
+    else:
+        server = _build_deployment(args, tier=args.tier)
+    print(server.summary())
     print()
     if batch == 0:
-        report = deployment.run_trace([])
+        report = server.run_trace([])
     else:
-        report = deployment.submit(
+        report = server.submit(
             batch=batch, arrivals=arrivals, seed=args.seed,
             validate=not args.no_validate,
         )
@@ -307,6 +405,7 @@ def _cmd_serve(args) -> int:
                 "input_size": args.input_size,
                 "num_classes": args.num_classes,
                 "chips": args.chips,
+                "replicas": args.replicas,
                 "report": report.to_dict(),
             },
             args.json,
@@ -351,6 +450,7 @@ def _cmd_sweep(args) -> int:
         chip_counts=tuple(args.chips),
         batch_sizes=tuple(args.batch),
         arrival_rates=tuple(args.arrival_rates),
+        replica_counts=tuple(args.replicas),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -537,7 +637,11 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="compile + cycle-accurately simulate one model (Fig. 2 workflow)",
     )
-    run.add_argument("model", help=f"model zoo name ({', '.join(available_models())})")
+    run.add_argument(
+        "model",
+        help=f"model zoo name ({', '.join(available_models())}) "
+             f"or a compiled .artifact file",
+    )
     _add_arch_options(run)
     run.add_argument("--strategy", default="dp",
                      choices=("generic", "duplication", "dp"))
@@ -559,6 +663,40 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", metavar="FILE", help="write the report as JSON")
     run.set_defaults(func=_cmd_run)
 
+    # compile ---------------------------------------------------------------
+    compile_ = sub.add_parser(
+        "compile",
+        help="compile once and write a content-addressed .artifact file",
+    )
+    compile_.add_argument(
+        "model",
+        help=f"model zoo name ({', '.join(available_models())}) "
+             f"or a graph JSON file (see repro.graph.save_graph)",
+    )
+    compile_.add_argument("-o", "--output", required=True, metavar="FILE",
+                          help="artifact file to write (convention: "
+                               "model.artifact)")
+    _add_arch_options(compile_)
+    compile_.add_argument("--strategy", default="dp",
+                          choices=("generic", "duplication", "dp"))
+    compile_.add_argument("--chips", type=int, default=1, metavar="N",
+                          help="pipeline-shard across N chips (default 1)")
+    compile_.add_argument("--input-size", type=int, default=32,
+                          help="input resolution baked into the artifact "
+                               "(zoo models only)")
+    compile_.add_argument("--num-classes", type=int, default=10)
+    compile_.set_defaults(func=_cmd_compile)
+
+    # inspect ---------------------------------------------------------------
+    inspect_ = sub.add_parser(
+        "inspect",
+        help="print the manifest of a compiled .artifact file",
+    )
+    inspect_.add_argument("artifact", help="artifact file to inspect")
+    inspect_.add_argument("--json", action="store_true",
+                          help="emit the manifest as JSON")
+    inspect_.set_defaults(func=_cmd_inspect)
+
     # serve -----------------------------------------------------------------
     serve = sub.add_parser(
         "serve",
@@ -566,13 +704,21 @@ def build_parser() -> argparse.ArgumentParser:
              "arrival process (latency percentiles, utilisation)",
     )
     serve.add_argument(
-        "model", help=f"model zoo name ({', '.join(available_models())})"
+        "model",
+        help=f"model zoo name ({', '.join(available_models())}) "
+             f"or a compiled .artifact file",
     )
     _add_arch_options(serve)
     serve.add_argument("--strategy", default="dp",
                        choices=("generic", "duplication", "dp"))
     serve.add_argument("--chips", type=int, default=1, metavar="N",
                        help="pipeline-shard the deployment across N chips")
+    serve.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="serve through a fleet of R identical replicas "
+                            "fed from one arrival stream (default 1)")
+    serve.add_argument("--policy", choices=("rr", "jsq"), default="rr",
+                       help="fleet dispatch policy: round-robin or "
+                            "join-shortest-queue (with --replicas > 1)")
     serve.add_argument("--batch", type=int, default=8, metavar="B",
                        help="number of inputs to submit (default 8; "
                             "ignored with --trace, which sets it)")
@@ -637,6 +783,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="arrival rates (inferences/s) to sweep through "
                             "the serving queueing law; 'none' = "
                             "back-to-back (the default)")
+    sweep.add_argument("--replicas", type=_int_list, default=[1],
+                       metavar="R[,R...]",
+                       help="fleet replica counts to sweep (round-robin "
+                            "dispatch across R identical replicas; "
+                            "default: single deployment)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",

@@ -33,6 +33,10 @@ class MappingError(CompileError):
     """No legal core mapping exists for a partition stage."""
 
 
+class ArtifactError(ReproError):
+    """A compiled artifact is corrupt, incompatible, or mismatched."""
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 

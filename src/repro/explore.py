@@ -67,6 +67,7 @@ from repro.sim.fastmodel import (
     analyze_plan,
     analyze_sharded,
     serve_arrivals,
+    serve_fleet,
     stream_batched,
 )
 
@@ -115,6 +116,7 @@ class DesignPoint:
     chips: int = 1
     batch: int = 1
     arrival_rate: Optional[float] = None
+    replicas: int = 1
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -131,8 +133,12 @@ class DesignPoint:
 
     @property
     def throughput_inf_s(self) -> float:
-        """Sustained inferences/second (steady-state streaming rate)."""
-        return self.report.throughput_inf_per_s
+        """Sustained inferences/second (steady-state streaming rate).
+
+        Fleet points (``replicas > 1``) scale linearly: each replica
+        sustains the per-replica steady-state rate independently.
+        """
+        return self.report.throughput_inf_per_s * self.replicas
 
     @property
     def energy_per_inf_mj(self) -> float:
@@ -172,6 +178,7 @@ class DesignPoint:
             "chips": self.chips,
             "batch": self.batch,
             "arrival_rate": self.arrival_rate,
+            "replicas": self.replicas,
             "cycles": self.cycles,
             "time_ms": self.report.time_ms,
             "energy_mj": self.energy_mj,
@@ -248,6 +255,7 @@ def evaluate_fast(
     chips: int = 1,
     batch: int = 1,
     arrival_rate: Optional[float] = None,
+    replicas: int = 1,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
@@ -261,10 +269,14 @@ def evaluate_fast(
     ``arrival_rate`` (inferences/s) instead releases the batch at a
     fixed rate through the serving queueing law
     (:func:`repro.sim.fastmodel.serve_arrivals`), adding latency
-    percentiles to the report.
+    percentiles to the report.  ``replicas > 1`` prices a serving
+    fleet: the releases are round-robined across that many identical
+    replicas (:func:`repro.sim.fastmodel.serve_fleet`).
     """
     if batch < 1:
         raise ConfigError(f"batch must be >= 1, got {batch}")
+    if replicas < 1:
+        raise ConfigError(f"replicas must be >= 1, got {replicas}")
     arch = arch or default_arch()
     graph = _cached_graph(model, input_size, num_classes)
     if chips > 1:
@@ -278,10 +290,14 @@ def evaluate_fast(
     else:
         plan = plan_graph(graph, arch, strategy, closure_limit)
         report = analyze_plan(plan)
-    if arrival_rate is not None:
-        report = serve_arrivals(
-            report, _rate_releases(arch, arrival_rate, batch),
-            arch.interchip, arrival_rate_inf_s=arrival_rate,
+    if arrival_rate is not None or replicas > 1:
+        releases = (
+            _rate_releases(arch, arrival_rate, batch)
+            if arrival_rate is not None else [0] * batch
+        )
+        report = serve_fleet(
+            report, releases, arch.interchip, replicas,
+            arrival_rate_inf_s=arrival_rate,
         )
     elif batch > 1:
         report = stream_batched(report, batch)
@@ -297,6 +313,7 @@ def evaluate_fast(
         chips=chips,
         batch=batch,
         arrival_rate=arrival_rate,
+        replicas=replicas,
     )
 
 
@@ -322,6 +339,7 @@ class PointSpec:
     chips: int = 1
     batch: int = 1
     arrival_rate: Optional[float] = None
+    replicas: int = 1
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -342,6 +360,7 @@ class PointSpec:
             self.chips,
             self.batch,
             self.arrival_rate,
+            self.replicas,
         )
 
 
@@ -356,7 +375,10 @@ class SweepSpec:
     single-shot latency mode); ``arrival_rates`` is the serving axis
     (inferences/s offered at a fixed rate -- ``(None,)`` by default:
     back-to-back batched mode; rate points add p50/p95/p99 latency to
-    the report).  ``closure_limit`` bounds the DP partitioner's closure
+    the report); ``replica_counts`` is the fleet axis (``(1,)`` by
+    default: a single deployment; ``R > 1`` round-robins the offered
+    stream across R identical replicas, pricing replicas-vs-chips
+    trade-offs).  ``closure_limit`` bounds the DP partitioner's closure
     enumeration and may be given per model (Fig. 7 caps EfficientNetB0
     at 64 to keep the sweep tractable).
     """
@@ -372,13 +394,14 @@ class SweepSpec:
     chip_counts: Tuple[int, ...] = (1,)
     batch_sizes: Tuple[int, ...] = (1,)
     arrival_rates: Tuple[Optional[float], ...] = (None,)
+    replica_counts: Tuple[int, ...] = (1,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
                      "input_sizes", "chip_counts", "batch_sizes",
-                     "arrival_rates"):
+                     "arrival_rates", "replica_counts"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -404,6 +427,10 @@ class SweepSpec:
             raise ConfigError(
                 "arrival rates must be positive (None = back-to-back)"
             )
+        if not self.replica_counts or any(
+            r <= 0 for r in self.replica_counts
+        ):
+            raise ConfigError("replica counts must be positive")
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -417,9 +444,9 @@ class SweepSpec:
         """The cross product, in deterministic order.
 
         Order (outer to inner): model, strategy, input size, chip count,
-        batch size, arrival rate, flit width, MG size -- matching the
-        row order of the paper's figure tables (the serving axes ride
-        between the software and hardware axes).
+        batch size, arrival rate, replica count, flit width, MG size --
+        matching the row order of the paper's figure tables (the serving
+        axes ride between the software and hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
@@ -430,29 +457,33 @@ class SweepSpec:
                     for chips in self.chip_counts:
                         for batch in self.batch_sizes:
                             for rate in self.arrival_rates:
-                                for flit in flit_axis:
-                                    for mg in mg_axis:
-                                        out.append(PointSpec(
-                                            model=model,
-                                            strategy=strategy,
-                                            input_size=input_size,
-                                            num_classes=self.num_classes,
-                                            mg_size=mg,
-                                            flit_bytes=flit,
-                                            closure_limit=self.limit_for(
-                                                model
-                                            ),
-                                            chips=chips,
-                                            batch=batch,
-                                            arrival_rate=rate,
-                                        ))
+                                for replicas in self.replica_counts:
+                                    for flit in flit_axis:
+                                        for mg in mg_axis:
+                                            out.append(PointSpec(
+                                                model=model,
+                                                strategy=strategy,
+                                                input_size=input_size,
+                                                num_classes=(
+                                                    self.num_classes
+                                                ),
+                                                mg_size=mg,
+                                                flit_bytes=flit,
+                                                closure_limit=(
+                                                    self.limit_for(model)
+                                                ),
+                                                chips=chips,
+                                                batch=batch,
+                                                arrival_rate=rate,
+                                                replicas=replicas,
+                                            ))
         return out
 
     def __len__(self) -> int:
         return (
             len(self.models) * len(self.strategies) * len(self.input_sizes)
             * len(self.chip_counts) * len(self.batch_sizes)
-            * len(self.arrival_rates)
+            * len(self.arrival_rates) * len(self.replica_counts)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -472,6 +503,7 @@ class SweepSpec:
             "chip_counts": list(self.chip_counts),
             "batch_sizes": list(self.batch_sizes),
             "arrival_rates": list(self.arrival_rates),
+            "replica_counts": list(self.replica_counts),
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -577,17 +609,21 @@ def _derive_report(
 
     Arrival-rate points go through the serving queueing law
     (:func:`repro.sim.fastmodel.serve_arrivals`, fixed-rate releases);
-    plain batch points through the PR-4 streaming law
-    (:func:`stream_batched`).  Either way the derivation is
-    bit-identical to evaluating the point from scratch, which is what
-    lets one base analysis serve a whole batch x rate sub-grid.
+    fleet points (``replicas > 1``) round-robin the releases across the
+    replicas (:func:`repro.sim.fastmodel.serve_fleet`); plain batch
+    points go through the PR-4 streaming law (:func:`stream_batched`).
+    Either way the derivation is bit-identical to evaluating the point
+    from scratch, which is what lets one base analysis serve a whole
+    batch x rate x replicas sub-grid.
     """
-    if pspec.arrival_rate is not None:
+    if pspec.arrival_rate is not None or pspec.replicas > 1:
         arch = pspec.resolve_arch(base_arch)
-        return serve_arrivals(
-            report,
-            _rate_releases(arch, pspec.arrival_rate, pspec.batch),
-            arch.interchip,
+        releases = (
+            _rate_releases(arch, pspec.arrival_rate, pspec.batch)
+            if pspec.arrival_rate is not None else [0] * pspec.batch
+        )
+        return serve_fleet(
+            report, releases, arch.interchip, pspec.replicas,
             arrival_rate_inf_s=pspec.arrival_rate,
         )
     if pspec.batch > 1:
@@ -597,7 +633,7 @@ def _derive_report(
 
 def _base_spec(pspec: PointSpec) -> PointSpec:
     """The batch-independent, arrival-free coordinates of a point."""
-    return replace(pspec, batch=1, arrival_rate=None)
+    return replace(pspec, batch=1, arrival_rate=None, replicas=1)
 
 
 def _evaluate_spec(
@@ -682,6 +718,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         chips=pspec.chips,
         batch=pspec.batch,
         arrival_rate=pspec.arrival_rate,
+        replicas=pspec.replicas,
         cached=cached,
     )
 
@@ -780,6 +817,7 @@ def run_sweep(
                     "chips": pspec.chips,
                     "batch": pspec.batch,
                     "arrival_rate": pspec.arrival_rate,
+                    "replicas": pspec.replicas,
                 },
             )
             journal(keys[index])
@@ -791,8 +829,9 @@ def run_sweep(
             record(index, pspec, _evaluate_spec(pspec, base, memo))
     else:
         by_index = dict(pending)
-        # The batch and arrival-rate axes are closed-form continuations
-        # of the base (batch=1, rate=None) analysis, so the pool only
+        # The batch, arrival-rate, and replicas axes are closed-form
+        # continuations of the base (batch=1, rate=None, replicas=1)
+        # analysis, so the pool only
         # ever evaluates *unique base points*; every pending variant is
         # derived in-parent via _derive_report -- bit-identical to
         # evaluating it directly, and each base is planned exactly once
@@ -891,10 +930,11 @@ def spot_check(
     ships with an empirical fast-model error bound.  Exposed on the CLI
     as ``python -m repro sweep --spot-check N``.
 
-    Arrival-rate points are re-checked at their *batch* coordinates
-    (back-to-back): the cycle-level comparison bounds execution-model
-    error, and arrival idle time -- identical in both tiers by
-    construction -- would only dilute the ratio.
+    Arrival-rate and fleet points are re-checked at their *batch*
+    coordinates (back-to-back, one replica): the cycle-level comparison
+    bounds execution-model error, and arrival/dispatch idle time --
+    identical in both tiers by construction -- would only dilute the
+    ratio.
     """
     from repro.compiler.pipeline import compile_graph, compile_sharded
     from repro.sim.fastmodel import analyze_plan as analyze

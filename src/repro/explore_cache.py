@@ -38,7 +38,8 @@ from repro.sim.fastmodel import FastReport
 #: reports carry batch/steady-interval fields.
 #: v4: continuous-arrival serving -- keys carry the arrival rate and
 #: reports carry shard occupancies / latency-percentile fields.
-CACHE_SCHEMA_VERSION = 4
+#: v5: replicated serving fleets -- keys carry the replica count.
+CACHE_SCHEMA_VERSION = 5
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -82,15 +83,16 @@ def point_key(
     chips: int = 1,
     batch: int = 1,
     arrival_rate: Optional[float] = None,
+    replicas: int = 1,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
     key -- including the multi-chip shard count, the streaming batch
-    size and the continuous-arrival rate; the architecture contributes
-    through its own content fingerprint so structurally identical
-    :class:`ArchConfig` instances collide (which is exactly what we
-    want).
+    size, the continuous-arrival rate and the fleet replica count; the
+    architecture contributes through its own content fingerprint so
+    structurally identical :class:`ArchConfig` instances collide (which
+    is exactly what we want).
     """
     material = json.dumps(
         {
@@ -104,6 +106,7 @@ def point_key(
             "chips": chips,
             "batch": batch,
             "arrival_rate": arrival_rate,
+            "replicas": replicas,
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -501,6 +501,31 @@ class Deployment:
                 else:
                     self._plans = [self.compiled.plan]
 
+    @classmethod
+    def load(
+        cls,
+        path,
+        arch: ArchLike = None,
+        *,
+        tier: str = "cyclesim",
+        engine: Optional[str] = None,
+    ) -> "Deployment":
+        """Open a deployment from a saved ``.artifact`` file.
+
+        The artifact's compile product is adopted as-is -- the compiler
+        never runs.  When ``arch`` is given, the artifact must have been
+        compiled for that exact architecture point
+        (:func:`repro.config.arch_fingerprint` match); a mismatch raises
+        :class:`~repro.errors.ArtifactError` naming both fingerprints.
+        """
+        from repro.artifact import load_artifact
+
+        if arch is not None:
+            from repro.workflow import _resolve_arch
+
+            arch = _resolve_arch(arch)
+        return cls(load_artifact(path, arch=arch), tier=tier, engine=engine)
+
     # -- introspection ------------------------------------------------------
     @property
     def graph(self) -> ComputationGraph:
@@ -779,7 +804,13 @@ class Deployment:
         if self._fast_reports is None:
             from repro.sim.fastmodel import analyze_plan
 
-            self._fast_reports = [analyze_plan(plan) for plan in self._plans]
+            # A plan loaded from an artifact carries its save-time
+            # analysis; re-analysing would need the full CG-level state
+            # the artifact deliberately does not store.
+            self._fast_reports = [
+                getattr(plan, "fast_report", None) or analyze_plan(plan)
+                for plan in self._plans
+            ]
         return self._fast_reports
 
     def _submit_fast(
@@ -816,3 +847,512 @@ class Deployment:
             macs=sum(r.macs for r in shard_reports) * batch,
             instructions=0,
         )
+
+
+# ---------------------------------------------------------------------------
+# Replicated serving: Fleet
+# ---------------------------------------------------------------------------
+
+#: Dispatch policies a :class:`Fleet` understands.
+FLEET_POLICIES = ("rr", "jsq")
+
+
+class _ReplicaState:
+    """Incremental mirror of one replica's streaming-schedule recurrence.
+
+    Admitting an input applies exactly the per-input inner loop of
+    :func:`repro.sim.multichip.streaming_schedule` (same ``prev_finish``
+    per shard, same per-(src, dst) link serialisation), so the predicted
+    finish cycles match what the replica's own submission will compute.
+    Timing is data-independent under per-input isolation (the serving
+    contract), which is what makes a one-input probe row exact for every
+    input.
+    """
+
+    def __init__(self, row: Sequence[int], edges, link):
+        self.row = list(row)
+        self.edges = list(edges)
+        self.link = link
+        self.prev_finish = [0] * len(self.row)
+        self.link_free: Dict[tuple, int] = {}
+        self.finishes: List[int] = []
+
+    def admit(self, release: int) -> int:
+        """Account one input released at ``release``; returns its finish."""
+        n = len(self.row)
+        arrival = [0] * n
+        if n:
+            arrival[0] = release
+        finishes = [0] * n
+        for k in range(n):
+            start = max(arrival[k], self.prev_finish[k])
+            finishes[k] = start + self.row[k]
+            for src, dst, nbytes in self.edges:
+                if src != k:
+                    continue
+                depart = max(
+                    finishes[k], self.link_free.get((src, dst), 0)
+                )
+                self.link_free[(src, dst)] = (
+                    depart + self.link.serialization_cycles(nbytes)
+                )
+                arrive = depart + self.link.transfer_cycles(nbytes)
+                arrival[dst] = max(arrival[dst], arrive)
+        self.prev_finish = finishes
+        finish = max(finishes) if finishes else release
+        self.finishes.append(finish)
+        return finish
+
+    def queue_depth(self, now: int) -> int:
+        """Inputs admitted so far that would still be in flight at ``now``."""
+        return sum(1 for f in self.finishes if f > now)
+
+
+@dataclass
+class FleetReport:
+    """One submission's view across all replicas of a :class:`Fleet`.
+
+    ``assignments[i]`` names the replica that served global input ``i``;
+    ``releases`` / ``input_finishes`` are in global submission order, so
+    latency percentiles aggregate over the whole fleet.
+    ``replica_reports[r]`` is replica ``r``'s own :class:`ServeReport`
+    for its sub-stream (empty-report shaped when a replica received no
+    inputs).  ``steady_interval_cycles`` is one replica's bottleneck
+    interval; the fleet saturation rate is ``replicas`` times the
+    single-replica ceiling.
+    """
+
+    arch: ArchConfig
+    tier: str
+    policy: str
+    replicas: int
+    batch: int
+    arrival: str
+    assignments: List[int]
+    releases: List[int]
+    input_finishes: List[int]
+    makespan_cycles: int
+    steady_interval_cycles: int
+    replica_reports: List[ServeReport] = field(repr=False, default_factory=list)
+    energy_breakdown_pj: Dict[str, float] = field(default_factory=dict)
+    macs: int = 0
+    instructions: int = 0
+    validated: bool = False
+
+    @property
+    def latency_cycles(self) -> List[int]:
+        return [f - r for f, r in zip(self.input_finishes, self.releases)]
+
+    def latency_percentile_cycles(self, pct: float) -> int:
+        return latency_percentile(self.latency_cycles, pct)
+
+    @property
+    def p50_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(50)
+
+    @property
+    def p95_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(95)
+
+    @property
+    def p99_latency_cycles(self) -> int:
+        return self.latency_percentile_cycles(99)
+
+    @property
+    def cycle_ns(self) -> float:
+        return self.arch.chip.cycle_ns
+
+    def _ms(self, cycles: int) -> float:
+        return cycles * self.cycle_ns / 1e6
+
+    @property
+    def makespan_ms(self) -> float:
+        return self._ms(self.makespan_cycles)
+
+    @property
+    def p50_latency_ms(self) -> float:
+        return self._ms(self.p50_latency_cycles)
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return self._ms(self.p95_latency_cycles)
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self._ms(self.p99_latency_cycles)
+
+    @property
+    def throughput_inf_per_s(self) -> float:
+        """Sustained fleet rate actually achieved over the makespan."""
+        if self.batch == 0 or self.makespan_cycles <= 0:
+            return 0.0
+        return self.batch / (self.makespan_cycles * self.cycle_ns / 1e9)
+
+    @property
+    def saturation_inf_per_s(self) -> float:
+        """The fleet ceiling: ``replicas`` inferences per bottleneck interval."""
+        if self.steady_interval_cycles <= 0:
+            return 0.0
+        return self.replicas * 1e9 / (
+            self.steady_interval_cycles * self.cycle_ns
+        )
+
+    @property
+    def replica_batches(self) -> List[int]:
+        return [report.batch for report in self.replica_reports]
+
+    @property
+    def replica_utilization(self) -> List[float]:
+        """Mean shard busy fraction of the fleet makespan, per replica."""
+        out = []
+        for report in self.replica_reports:
+            if self.makespan_cycles <= 0 or report.num_shards == 0:
+                out.append(0.0)
+                continue
+            busy = report.batch * sum(report.shard_cycles)
+            out.append(busy / (report.num_shards * self.makespan_cycles))
+        return out
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(self.energy_breakdown_pj.values())
+
+    @property
+    def total_energy_mj(self) -> float:
+        return self.total_energy_pj / 1e9
+
+    @property
+    def energy_per_inference_mj(self) -> float:
+        return self.total_energy_mj / max(1, self.batch)
+
+    def to_dict(self) -> Dict:
+        from repro.config import arch_fingerprint
+
+        return {
+            "arch_fingerprint": arch_fingerprint(self.arch),
+            "tier": self.tier,
+            "policy": self.policy,
+            "replicas": int(self.replicas),
+            "batch": int(self.batch),
+            "arrival": self.arrival,
+            "assignments": [int(a) for a in self.assignments],
+            "releases": [int(c) for c in self.releases],
+            "input_finishes": [int(c) for c in self.input_finishes],
+            "latency_cycles": [int(c) for c in self.latency_cycles],
+            "makespan_cycles": int(self.makespan_cycles),
+            "makespan_ms": self.makespan_ms,
+            "steady_interval_cycles": int(self.steady_interval_cycles),
+            "p50_latency_cycles": self.p50_latency_cycles,
+            "p95_latency_cycles": self.p95_latency_cycles,
+            "p99_latency_cycles": self.p99_latency_cycles,
+            "p50_latency_ms": self.p50_latency_ms,
+            "p95_latency_ms": self.p95_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "throughput_inf_per_s": self.throughput_inf_per_s,
+            "saturation_inf_per_s": self.saturation_inf_per_s,
+            "replica_batches": self.replica_batches,
+            "replica_utilization": [
+                float(u) for u in self.replica_utilization
+            ],
+            "total_energy_mj": self.total_energy_mj,
+            "energy_per_inference_mj": self.energy_per_inference_mj,
+            "macs": int(self.macs),
+            "instructions": int(self.instructions),
+            "validated": self.validated,
+            "energy_breakdown_pj": {
+                k: float(v) for k, v in self.energy_breakdown_pj.items()
+            },
+        }
+
+    def __str__(self) -> str:
+        lines = [
+            f"tier              : {self.tier}",
+            f"replicas          : {self.replicas} (policy {self.policy})",
+            f"inputs            : {self.batch} ({self.arrival})",
+            f"makespan          : {self.makespan_cycles:,} cycles "
+            f"({self.makespan_ms:.3f} ms)",
+            f"sustained rate    : {self.throughput_inf_per_s:,.0f} inf/s "
+            f"(fleet saturation {self.saturation_inf_per_s:,.0f} inf/s)",
+            f"latency p50       : {self.p50_latency_cycles:,} cycles "
+            f"({self.p50_latency_ms:.3f} ms)",
+            f"latency p95       : {self.p95_latency_cycles:,} cycles "
+            f"({self.p95_latency_ms:.3f} ms)",
+            f"latency p99       : {self.p99_latency_cycles:,} cycles "
+            f"({self.p99_latency_ms:.3f} ms)",
+            f"energy            : {self.total_energy_mj:.4f} mJ "
+            f"({self.energy_per_inference_mj:.4f} mJ/inference)",
+            "replica load      :",
+        ]
+        for r, (b, util) in enumerate(
+            zip(self.replica_batches, self.replica_utilization)
+        ):
+            lines.append(f"  replica {r}: {b} inputs, {100 * util:5.1f}% busy")
+        return "\n".join(lines)
+
+
+class Fleet:
+    """R replicas of one compiled model behind a shared arrival stream.
+
+    The model is compiled (or loaded from an artifact) exactly once; all
+    replicas share the immutable compile product, which per-input
+    isolation makes safe.  ``model`` accepts everything
+    :class:`Deployment` does plus a path to a saved ``.artifact`` file::
+
+        fleet = Fleet("model.artifact", replicas=4, policy="jsq")
+        report = fleet.submit(batch=64, arrivals=FixedRate(8000))
+
+    ``policy`` selects the dispatcher: ``"rr"`` (round-robin, input ``i``
+    to replica ``i % R``) or ``"jsq"`` (join-shortest-queue on each
+    replica's predicted in-flight count at release time, ties to the
+    lowest index).  Each replica's sub-stream then runs through the
+    ordinary :meth:`Deployment.submit` queueing law in the chosen
+    fidelity tier, and the per-replica reports merge into a
+    :class:`FleetReport`.  With ``replicas=1`` the submission is passed
+    through unchanged, so the fleet is bit-identical to a plain
+    deployment.
+    """
+
+    def __init__(
+        self,
+        model,
+        arch: ArchLike = None,
+        *,
+        replicas: int = 1,
+        policy: str = "rr",
+        chips: int = 1,
+        strategy: str = "dp",
+        engine: Optional[str] = None,
+        tier: str = "cyclesim",
+        closure_limit: Optional[int] = None,
+        **model_kwargs,
+    ):
+        if replicas < 1:
+            raise ConfigError(f"replicas must be >= 1, got {replicas}")
+        if policy not in FLEET_POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {policy!r}; expected one of "
+                f"{FLEET_POLICIES}"
+            )
+        self.num_replicas = int(replicas)
+        self.policy = policy
+        if _is_artifact_path(model):
+            if (
+                model_kwargs or chips != 1 or strategy != "dp"
+                or closure_limit is not None
+            ):
+                raise ConfigError(
+                    "an artifact carries its own sharding and strategy; "
+                    "pass Fleet(artifact_path) with no compile keywords"
+                )
+            self.deployment = Deployment.load(
+                model, arch, tier=tier, engine=engine
+            )
+        else:
+            self.deployment = Deployment(
+                model, arch, chips=chips, strategy=strategy, engine=engine,
+                tier=tier, closure_limit=closure_limit, **model_kwargs,
+            )
+        self._profile = None
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def arch(self) -> ArchConfig:
+        return self.deployment.arch
+
+    @property
+    def graph(self) -> ComputationGraph:
+        return self.deployment.graph
+
+    @property
+    def tier(self) -> str:
+        return self.deployment.tier
+
+    @property
+    def num_chips(self) -> int:
+        return self.deployment.num_chips
+
+    def summary(self) -> str:
+        return (
+            f"{self.deployment.summary()}\n"
+            f"  fleet: {self.num_replicas} replica(s), policy {self.policy}"
+        )
+
+    # -- dispatch -----------------------------------------------------------
+    def _service_profile(self):
+        """(per-shard cycle row, transfer edges) of one input.
+
+        Timing is data-independent, so in the cyclesim tier a single
+        probe submission measures the exact service row every JSQ
+        prediction needs; the fast tier reads its analytical reports.
+        """
+        if self._profile is None:
+            dep = self.deployment
+            edges = dep._transfer_edges()
+            if dep.tier == "fast":
+                row = [r.cycles for r in dep._fast_shard_reports()]
+            else:
+                probe = dep.submit(batch=1, validate=False)
+                row = list(probe.shard_cycles)
+            self._profile = (row, edges)
+        return self._profile
+
+    def _dispatch(self, releases: Sequence[int]) -> List[int]:
+        if self.policy == "rr":
+            return [i % self.num_replicas for i in range(len(releases))]
+        row, edges = self._service_profile()
+        link = self.arch.interchip
+        states = [
+            _ReplicaState(row, edges, link)
+            for _ in range(self.num_replicas)
+        ]
+        assignments: List[int] = []
+        for release in releases:
+            depths = [state.queue_depth(release) for state in states]
+            choice = min(range(self.num_replicas), key=lambda r: (depths[r], r))
+            states[choice].admit(release)
+            assignments.append(choice)
+        return assignments
+
+    # -- submission ---------------------------------------------------------
+    def submit(
+        self,
+        inputs=None,
+        *,
+        batch: int = 1,
+        arrivals: Optional[Union[ArrivalProcess, Sequence[int]]] = None,
+        seed: int = 0,
+        validate: bool = True,
+    ) -> FleetReport:
+        """Submit one stream, dispatched across the replicas.
+
+        Arguments follow :meth:`Deployment.submit` exactly.  Inputs are
+        drawn (or taken) at the *fleet* level in global submission
+        order, then routed: replica sub-streams keep their global
+        release cycles, so the merged report's latencies are what the
+        clients of the whole fleet observe.
+        """
+        if arrivals is None:
+            arrivals = BackToBack()
+        elif not isinstance(arrivals, ArrivalProcess):
+            arrivals = TraceArrivals(arrivals)
+
+        if self.num_replicas == 1:
+            report = self.deployment.submit(
+                inputs, batch=batch, arrivals=arrivals, seed=seed,
+                validate=validate,
+            )
+            return self._merge([report], [0] * report.batch, report.releases)
+
+        if isinstance(arrivals, TraceArrivals) and batch == 1:
+            batch = len(arrivals)
+        if batch == 0:
+            empty = [
+                self.deployment._empty_report(arrivals)
+                for _ in range(self.num_replicas)
+            ]
+            return self._merge(empty, [], [])
+        if batch < 1:
+            raise ConfigError(f"batch must be >= 1, got {batch}")
+
+        resolved = None
+        if self.deployment.tier == "fast":
+            if inputs is not None:
+                batch = len(
+                    _resolve_batch_inputs(self.graph, inputs, batch, seed)
+                )
+        else:
+            resolved = _resolve_batch_inputs(self.graph, inputs, batch, seed)
+            batch = len(resolved)
+        releases = arrivals.release_cycles(batch, self.arch.chip.cycle_ns)
+        assignments = self._dispatch(releases)
+
+        reports: List[ServeReport] = []
+        for replica in range(self.num_replicas):
+            index = [i for i, a in enumerate(assignments) if a == replica]
+            sub_arrivals = TraceArrivals([releases[i] for i in index])
+            sub_inputs = (
+                [resolved[i] for i in index] if resolved is not None else None
+            )
+            reports.append(
+                self.deployment.submit(
+                    sub_inputs, batch=1, arrivals=sub_arrivals, seed=seed,
+                    validate=validate,
+                )
+            )
+        return self._merge(reports, assignments, releases, arrivals)
+
+    def run_trace(
+        self,
+        trace: Union[TraceArrivals, Sequence[int]],
+        inputs=None,
+        *,
+        seed: int = 0,
+        validate: bool = True,
+    ) -> FleetReport:
+        """Replay a recorded arrival trace across the fleet."""
+        if not isinstance(trace, TraceArrivals):
+            trace = TraceArrivals(trace)
+        return self.submit(
+            inputs, batch=len(trace) or 1, arrivals=trace, seed=seed,
+            validate=validate,
+        ) if len(trace) else self.submit(
+            inputs, batch=0, arrivals=trace, seed=seed, validate=validate
+        )
+
+    def _merge(
+        self,
+        reports: List[ServeReport],
+        assignments: List[int],
+        releases: List[int],
+        arrivals: Optional[ArrivalProcess] = None,
+    ) -> FleetReport:
+        finishes = [0] * len(assignments)
+        cursor = [0] * len(reports)
+        for i, replica in enumerate(assignments):
+            finishes[i] = reports[replica].input_finishes[cursor[replica]]
+            cursor[replica] += 1
+        energy: Dict[str, float] = {}
+        for report in reports:
+            for key, value in report.energy_breakdown_pj.items():
+                energy[key] = energy.get(key, 0.0) + value
+        served = [r for r in reports if r.batch]
+        return FleetReport(
+            arch=self.arch,
+            tier=self.tier,
+            policy=self.policy,
+            replicas=self.num_replicas,
+            batch=len(assignments),
+            arrival=(
+                arrivals.describe() if arrivals is not None
+                else reports[0].arrival
+            ),
+            assignments=list(assignments),
+            releases=list(releases),
+            input_finishes=finishes,
+            makespan_cycles=max((r.makespan_cycles for r in reports), default=0),
+            steady_interval_cycles=max(
+                (r.steady_interval_cycles for r in reports), default=0
+            ),
+            replica_reports=reports,
+            energy_breakdown_pj=energy,
+            macs=sum(r.macs for r in reports),
+            instructions=sum(r.instructions for r in reports),
+            validated=bool(served) and all(r.validated for r in served),
+        )
+
+
+def _is_artifact_path(model) -> bool:
+    """Whether ``model`` names a saved artifact file."""
+    from pathlib import Path
+
+    if not isinstance(model, (str, Path)):
+        return False
+    path = Path(model)
+    if path.suffix == ".artifact":
+        return True
+    if not path.is_file():
+        return False
+    from repro.artifact import MAGIC
+
+    with open(path, "rb") as handle:
+        return handle.read(len(MAGIC)) == MAGIC

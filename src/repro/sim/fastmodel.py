@@ -329,6 +329,78 @@ def serve_arrivals(
     )
 
 
+def serve_fleet(
+    report: FastReport,
+    releases: Sequence[int],
+    link,
+    replicas: int,
+    arrival_rate_inf_s: Optional[float] = None,
+) -> FastReport:
+    """Replicated-serving continuation of a single-input report.
+
+    The fast-model mirror of :class:`repro.serve.Fleet` under
+    round-robin dispatch: ``releases`` is split across ``replicas``
+    identical copies of the report's pipeline (input ``i`` goes to
+    replica ``i % replicas``), each replica's sub-stream is re-priced
+    with :func:`repro.sim.multichip.streaming_schedule` at the inputs'
+    *global* release cycles, and the per-input finishes are merged back
+    into release order.  The fleet makespan is the latest replica
+    finish; energy and MACs scale linearly per input as in
+    :func:`serve_arrivals`.  ``replicas == 1`` degenerates to
+    :func:`serve_arrivals` exactly, which is why the sweep engine can
+    treat the replicas axis as a closed-form continuation of the same
+    base analysis that prices the batch and arrival-rate axes.
+    """
+    from repro.serve import latency_percentile
+    from repro.sim.multichip import streaming_schedule
+
+    if replicas < 1:
+        raise ConfigError(f"replicas must be >= 1, got {replicas}")
+    if replicas == 1:
+        return serve_arrivals(report, releases, link, arrival_rate_inf_s)
+    if report.batch != 1:
+        raise ConfigError(
+            f"serve_fleet needs a single-input report, got batch="
+            f"{report.batch}"
+        )
+    batch = len(releases)
+    chip_cycles = list(report.shard_cycles) or [report.cycles]
+    finishes = [0] * batch
+    makespan = 0
+    for replica in range(replicas):
+        index = list(range(replica, batch, replicas))
+        if not index:
+            continue
+        sub = [releases[i] for i in index]
+        rows = [list(chip_cycles) for _ in index]
+        _, _, sub_finishes, sub_makespan = streaming_schedule(
+            rows, report.shard_edges, link, sub
+        )
+        makespan = max(makespan, sub_makespan)
+        for i, finish in zip(index, sub_finishes):
+            finishes[i] = finish
+    latencies = [f - r for f, r in zip(finishes, releases)]
+    return FastReport(
+        cycles=makespan,
+        energy_breakdown_pj={
+            k: v * batch for k, v in report.energy_breakdown_pj.items()
+        },
+        macs=report.macs * batch,
+        clock_mhz=report.clock_mhz,
+        stage_cycles=dict(report.stage_cycles),
+        batch=batch,
+        steady_interval_cycles=(
+            report.steady_interval_cycles or report.cycles
+        ),
+        shard_cycles=list(report.shard_cycles),
+        shard_edges=list(report.shard_edges),
+        arrival_rate_inf_s=arrival_rate_inf_s,
+        p50_latency_cycles=latency_percentile(latencies, 50),
+        p95_latency_cycles=latency_percentile(latencies, 95),
+        p99_latency_cycles=latency_percentile(latencies, 99),
+    )
+
+
 def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
     """Fast-model analysis of a multi-chip sharded execution.
 

@@ -728,3 +728,101 @@ class TestSweepResume:
             fh.write('{"key": "c')  # torn write from a crash
         assert SweepManifest(tmp_path, "f" * 64).load() == \
             frozenset({"a" * 64, "b" * 64})
+
+
+class TestReplicasAxis:
+    """The PR-6 fleet axis: replicas in the cross product and the cache."""
+
+    def test_replicas_axis_in_cross_product(self):
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(4,), replica_counts=(1, 2, 4),
+        )
+        assert len(spec) == 3
+        assert [p.replicas for p in spec.points()] == [1, 2, 4]
+
+    def test_rejects_nonpositive_replica_counts(self):
+        with pytest.raises(ConfigError, match="replica"):
+            tiny_spec(replica_counts=(0,))
+
+    def test_replica_points_match_direct_evaluation(self):
+        arch = small_test_arch()
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(8,),
+            arrival_rates=(None, 250000.0), replica_counts=(1, 2),
+        )
+        result = run_sweep(spec)
+        assert len(result.points) == 4
+        for point in result.points:
+            direct = evaluate_fast(
+                "tiny_cnn", arch, "dp", 8, 10, batch=8,
+                arrival_rate=point.arrival_rate, replicas=point.replicas,
+            )
+            assert point.report == direct.report
+            assert point.replicas == direct.replicas
+
+    def test_fleet_throughput_scales_linearly(self):
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(8,), replica_counts=(1, 4),
+        )
+        single, fleet = run_sweep(spec).points
+        assert fleet.throughput_inf_s == pytest.approx(
+            4 * single.throughput_inf_s, rel=1e-9
+        )
+
+    def test_replica_points_share_one_base_analysis(self, monkeypatch):
+        import repro.explore as explore
+
+        calls = []
+        real_plan_graph = explore.plan_graph
+
+        def counting_plan_graph(*args, **kwargs):
+            calls.append(1)
+            return real_plan_graph(*args, **kwargs)
+
+        monkeypatch.setattr(explore, "plan_graph", counting_plan_graph)
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(8,),
+            arrival_rates=(None, 250000.0), replica_counts=(1, 2, 4),
+        )
+        result = run_sweep(spec)
+        assert len(result.points) == 6
+        assert len(calls) == 1
+
+    def test_replicas_in_cache_key(self):
+        arch = small_test_arch()
+        assert point_key("tiny_cnn", arch, "dp", 8, 10, None, 1, 4, None) != \
+            point_key(
+                "tiny_cnn", arch, "dp", 8, 10, None, 1, 4, None, replicas=2
+            )
+
+    def test_replica_sweep_round_trips_through_cache(self, tmp_path):
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(4,), replica_counts=(1, 2),
+        )
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        second = run_sweep(spec, cache=cache)
+        assert second.stats.cache_hits == 2
+        for a, b in zip(first.points, second.points):
+            assert a.report == b.report
+            assert b.replicas == a.replicas
+        assert second.points[1].replicas == 2
+
+    def test_schema_v5_carries_the_replica_count(self):
+        # The schema bump that introduced the replicas key: the version
+        # participates in every key, so all v4 entries are misses now.
+        assert CACHE_SCHEMA_VERSION >= 5
+
+    def test_point_dict_has_replicas_column(self):
+        arch = small_test_arch()
+        row = evaluate_fast(
+            "tiny_cnn", arch, "dp", 8, 10, batch=4, replicas=2
+        ).to_dict()
+        assert row["replicas"] == 2
+        plain = evaluate_fast("tiny_cnn", arch, "dp", 8, 10).to_dict()
+        assert plain["replicas"] == 1

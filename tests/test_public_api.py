@@ -31,12 +31,19 @@ PUBLIC_API = sorted([
     "PoissonArrivals",
     "TraceArrivals",
     "serve_arrivals",
+    "serve_fleet",
+    "Fleet",
+    "FleetReport",
     # compilation
     "compile_model",
     "compile_sharded",
     "shard_graph",
     "ShardingSpec",
     "MultiChipModel",
+    # compiled artifacts (the shippable compile product)
+    "save_artifact",
+    "load_artifact",
+    "inspect_artifact",
     # simulation
     "MultiChipSimulator",
     "MultiChipReport",
@@ -66,6 +73,7 @@ PUBLIC_API = sorted([
     "ISAError",
     "CompileError",
     "CapacityError",
+    "ArtifactError",
     "SimulationError",
     "ValidationError",
     # metadata
