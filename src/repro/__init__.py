@@ -25,6 +25,12 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   latency percentiles and per-shard utilisation; a
   :class:`~repro.serve.Fleet` feeds one arrival stream to R replicas
   under round-robin or join-shortest-queue dispatch.
+- :mod:`repro.faults`  -- deterministic fault injection for fleets: a
+  seeded :class:`~repro.faults.FaultPlan` of crashes, slowdowns, link
+  degradation and transient failures replayed identically by both
+  fidelity tiers, with retries/deadlines via
+  :class:`~repro.faults.RetryPolicy` and a conservation guarantee
+  (submitted == completed + dropped).
 - :mod:`repro.artifact` -- the shippable compile product: a compiled
   model serialized to a single content-addressed ``.artifact`` file
   (``save_artifact`` / ``load_artifact`` / ``Deployment.load``), so a
@@ -48,10 +54,21 @@ from repro.errors import (
     CapacityError,
     CompileError,
     ConfigError,
+    FaultError,
     ISAError,
     ReproError,
     SimulationError,
     ValidationError,
+)
+from repro.faults import (
+    FaultPlan,
+    LinkDegrade,
+    ReplicaCrash,
+    ReplicaSlowdown,
+    RetryPolicy,
+    TransientRequestFailure,
+    load_fault_plan,
+    save_fault_plan,
 )
 from repro.artifact import inspect_artifact, load_artifact, save_artifact
 from repro.config import ArchConfig, EnergyConfig, InterChipConfig, default_arch
@@ -119,6 +136,14 @@ __all__ = [
     "serve_fleet",
     "Fleet",
     "FleetReport",
+    "FaultPlan",
+    "RetryPolicy",
+    "ReplicaCrash",
+    "ReplicaSlowdown",
+    "LinkDegrade",
+    "TransientRequestFailure",
+    "load_fault_plan",
+    "save_fault_plan",
     "save_artifact",
     "load_artifact",
     "inspect_artifact",
@@ -153,6 +178,7 @@ __all__ = [
     "CompileError",
     "CapacityError",
     "ArtifactError",
+    "FaultError",
     "SimulationError",
     "ValidationError",
     "__version__",

@@ -20,13 +20,15 @@ exploration engine without writing any Python:
   latency, queueing delay, per-shard utilisation and sustained
   throughput; ``--tier fast`` prices the same schedule analytically;
   ``--replicas R`` round-robins (or ``--policy jsq`` queue-balances)
-  the stream across R replicas of the deployment;
+  the stream across R replicas of the deployment; ``--faults PLAN``
+  replays a deterministic fault plan (:mod:`repro.faults`) against the
+  fleet, reporting conservation, goodput, drops and retries;
 - ``sweep``   -- evaluate a cross-product design space with the fast
   analytical model, in parallel and through the on-disk result cache
   (``--chips`` adds the multi-chip axis, ``--batch`` the streaming
   batch axis, ``--arrival-rates`` the serving axis, ``--replicas``
-  the fleet axis; an interrupted sweep resumes mid-cross-product via
-  the sweep manifest);
+  the fleet axis, ``--fault-plans`` the availability axis; an
+  interrupted sweep resumes mid-cross-product via the sweep manifest);
 - ``compare`` -- the Fig. 5 strategy comparison (normalized speed/energy
   per compilation strategy);
 - ``report``  -- re-render / convert a saved ``sweep --json`` file
@@ -56,7 +58,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.config import default_arch, load_arch, small_test_arch
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.explore import SweepSpec, run_sweep, spot_check, strategy_comparison
 from repro.explore_cache import ResultCache, default_cache_dir
 from repro.graph.models import available_models
@@ -65,17 +67,20 @@ _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
     "model", "strategy", "input_size", "chips", "batch", "arrival_rate",
-    "replicas",
+    "replicas", "fault_plan",
     "mg_size", "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
     "throughput_inf_s", "energy_per_inf_mj",
-    "p50_latency_ms", "p95_latency_ms", "p99_latency_ms", "cached",
+    "p50_latency_ms", "p95_latency_ms", "p99_latency_ms",
+    "dropped", "retries", "goodput_inf_s", "cached",
 )
 
 #: Fallbacks for sweep-result rows written before the column existed
 #: (pre-batch files lack batch/throughput/energy-per-inference,
 #: pre-serve files lack arrival-rate/latency-percentile columns,
-#: pre-fleet files lack the replicas column).
-_COLUMN_DEFAULTS = {"chips": 1, "batch": 1, "replicas": 1}
+#: pre-fleet files lack the replicas column, pre-fault files lack the
+#: fault-plan/dropped/retries/goodput columns).
+_COLUMN_DEFAULTS = {"chips": 1, "batch": 1, "replicas": 1,
+                    "dropped": 0, "retries": 0}
 
 _BEST_METRICS = (
     "tops", "throughput_inf_s", "energy_mj", "energy_per_inf_mj", "cycles",
@@ -166,14 +171,23 @@ def _optional_cell(row: Dict[str, Any], key: str, fmt: str, width: int) -> str:
 
 
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
+    faulted = any(row.get("fault_plan") for row in rows)
     header = (
         f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'B':>4s}"
         f"{'rate/s':>9s}{'R':>3s}{'MG':>4s}{'flit':>6s}"
         f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}"
-        f"{'inf/s':>11s}{'mJ/inf':>9s}{'p99 ms':>9s}{'cache':>7s}"
+        f"{'inf/s':>11s}{'mJ/inf':>9s}{'p99 ms':>9s}"
+        + (f"{'drop':>6s}{'retry':>7s}{'good/s':>11s}" if faulted else "")
+        + f"{'cache':>7s}"
     )
     lines = [header, "-" * len(header)]
     for row in rows:
+        fault_cells = ""
+        if faulted:
+            fault_cells = (
+                f"{row.get('dropped', 0):>6d}{row.get('retries', 0):>7d}"
+                f"{_optional_cell(row, 'goodput_inf_s', ',.0f', 11)}"
+            )
         lines.append(
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
             f"{row.get('chips', 1):>6d}{row.get('batch', 1):>4d}"
@@ -185,7 +199,8 @@ def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
             f"{_optional_cell(row, 'throughput_inf_s', ',.0f', 11)}"
             f"{_optional_cell(row, 'energy_per_inf_mj', '.2f', 9)}"
             f"{_optional_cell(row, 'p99_latency_ms', '.3f', 9)}"
-            f"{'hit' if row.get('cached') else '-':>7s}"
+            + fault_cells
+            + f"{'hit' if row.get('cached') else '-':>7s}"
         )
     return "\n".join(lines)
 
@@ -334,11 +349,14 @@ def _cmd_inspect(args) -> int:
 def _read_trace(path: str) -> List[int]:
     """Release cycles from a trace file: JSON array or whitespace ints."""
     text = Path(path).read_text().strip()
-    if not text:
-        return []
-    if text.startswith("["):
-        return [int(c) for c in json.loads(text)]
-    return [int(token) for token in text.split()]
+    try:
+        if not text:
+            return []
+        if text.startswith("["):
+            return [int(c) for c in json.loads(text)]
+        return [int(token) for token in text.split()]
+    except (ValueError, TypeError) as exc:
+        raise ConfigError(f"malformed arrival trace {path!r}: {exc}")
 
 
 def _cmd_serve(args) -> int:
@@ -349,6 +367,12 @@ def _cmd_serve(args) -> int:
         PoissonArrivals,
         TraceArrivals,
     )
+
+    plan = None
+    if args.faults is not None:
+        from repro.faults import load_fault_plan
+
+        plan = load_fault_plan(args.faults)
 
     batch = args.batch
     if args.trace is not None:
@@ -364,7 +388,7 @@ def _cmd_serve(args) -> int:
     else:
         arrivals = BackToBack()
 
-    if args.replicas > 1:
+    if args.replicas > 1 or plan is not None:
         from repro.serve import Fleet, _is_artifact_path
 
         if _is_artifact_path(args.model):
@@ -382,13 +406,16 @@ def _cmd_serve(args) -> int:
     else:
         server = _build_deployment(args, tier=args.tier)
     print(server.summary())
+    if plan is not None:
+        print(f"  faults: {plan.describe()} [{plan.fingerprint()}]")
     print()
+    fault_kwargs = {} if plan is None else {"faults": plan}
     if batch == 0:
-        report = server.run_trace([])
+        report = server.run_trace([], **fault_kwargs)
     else:
         report = server.submit(
             batch=batch, arrivals=arrivals, seed=args.seed,
-            validate=not args.no_validate,
+            validate=not args.no_validate, **fault_kwargs,
         )
     if report.validated:
         print(
@@ -406,6 +433,7 @@ def _cmd_serve(args) -> int:
                 "num_classes": args.num_classes,
                 "chips": args.chips,
                 "replicas": args.replicas,
+                "faults": plan.fingerprint() if plan is not None else None,
                 "report": report.to_dict(),
             },
             args.json,
@@ -437,6 +465,16 @@ def _progress_printer(quiet: bool):
     return progress
 
 
+def _fault_plans(entries: List[str]):
+    """``plan.json`` / ``none`` entries -> FaultPlan axis tuple."""
+    from repro.faults import load_fault_plan
+
+    return tuple(
+        None if entry.lower() == "none" else load_fault_plan(entry)
+        for entry in entries
+    )
+
+
 def _cmd_sweep(args) -> int:
     spec = SweepSpec(
         models=tuple(args.models),
@@ -451,6 +489,7 @@ def _cmd_sweep(args) -> int:
         batch_sizes=tuple(args.batch),
         arrival_rates=tuple(args.arrival_rates),
         replica_counts=tuple(args.replicas),
+        fault_plans=_fault_plans(args.fault_plans),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -737,6 +776,11 @@ def build_parser() -> argparse.ArgumentParser:
                               "whitespace-separated release cycles")
     serve.add_argument("--arrival-seed", type=int, default=0,
                        help="seed for --poisson arrival draws")
+    serve.add_argument("--faults", metavar="FILE", default=None,
+                       help="JSON fault plan (repro.faults.save_fault_plan) "
+                            "to replay deterministically against the fleet: "
+                            "crashes, slowdowns, link degradation, "
+                            "transient failures with retries/deadlines")
     serve.add_argument("--tier", choices=("cyclesim", "fast"),
                        default="cyclesim",
                        help="cyclesim = exact execution + bit-exact "
@@ -788,6 +832,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fleet replica counts to sweep (round-robin "
                             "dispatch across R identical replicas; "
                             "default: single deployment)")
+    sweep.add_argument("--fault-plans", type=_split_csv, default=["none"],
+                       metavar="F[,F...]",
+                       help="fault-plan JSON files to sweep as an "
+                            "availability axis; 'none' = fault-free "
+                            "serving (the default)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",
@@ -860,7 +909,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
-    except ReproError as exc:
+    except (ReproError, OSError) as exc:
+        # Every typed framework error (and plain file-system failure on
+        # user-supplied paths) exits nonzero with a one-line message --
+        # a raw traceback from a CLI verb is always a bug.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

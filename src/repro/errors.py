@@ -37,6 +37,10 @@ class ArtifactError(ReproError):
     """A compiled artifact is corrupt, incompatible, or mismatched."""
 
 
+class FaultError(ReproError):
+    """A fault plan or retry policy is malformed or cannot be loaded."""
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent state."""
 

@@ -54,6 +54,7 @@ from repro.compiler.partition import shard_graph
 from repro.compiler.pipeline import plan_graph
 from repro.compiler.plan import ExecutionPlan
 from repro.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.explore_cache import (
     ResultCache,
     SweepManifest,
@@ -117,6 +118,7 @@ class DesignPoint:
     batch: int = 1
     arrival_rate: Optional[float] = None
     replicas: int = 1
+    fault_plan: Optional[FaultPlan] = None
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -179,6 +181,13 @@ class DesignPoint:
             "batch": self.batch,
             "arrival_rate": self.arrival_rate,
             "replicas": self.replicas,
+            "fault_plan": (
+                self.fault_plan.describe()
+                if self.fault_plan is not None else None
+            ),
+            "dropped": self.report.dropped,
+            "retries": self.report.retries,
+            "goodput_inf_s": self.report.goodput_inf_per_s,
             "cycles": self.cycles,
             "time_ms": self.report.time_ms,
             "energy_mj": self.energy_mj,
@@ -256,6 +265,7 @@ def evaluate_fast(
     batch: int = 1,
     arrival_rate: Optional[float] = None,
     replicas: int = 1,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
@@ -271,7 +281,9 @@ def evaluate_fast(
     (:func:`repro.sim.fastmodel.serve_arrivals`), adding latency
     percentiles to the report.  ``replicas > 1`` prices a serving
     fleet: the releases are round-robined across that many identical
-    replicas (:func:`repro.sim.fastmodel.serve_fleet`).
+    replicas (:func:`repro.sim.fastmodel.serve_fleet`).  ``fault_plan``
+    replays a deterministic :class:`repro.faults.FaultPlan` against the
+    fleet, adding dropped/retry counts and goodput to the report.
     """
     if batch < 1:
         raise ConfigError(f"batch must be >= 1, got {batch}")
@@ -290,7 +302,7 @@ def evaluate_fast(
     else:
         plan = plan_graph(graph, arch, strategy, closure_limit)
         report = analyze_plan(plan)
-    if arrival_rate is not None or replicas > 1:
+    if arrival_rate is not None or replicas > 1 or fault_plan is not None:
         releases = (
             _rate_releases(arch, arrival_rate, batch)
             if arrival_rate is not None else [0] * batch
@@ -298,6 +310,7 @@ def evaluate_fast(
         report = serve_fleet(
             report, releases, arch.interchip, replicas,
             arrival_rate_inf_s=arrival_rate,
+            faults=fault_plan,
         )
     elif batch > 1:
         report = stream_batched(report, batch)
@@ -314,6 +327,7 @@ def evaluate_fast(
         batch=batch,
         arrival_rate=arrival_rate,
         replicas=replicas,
+        fault_plan=fault_plan,
     )
 
 
@@ -340,6 +354,7 @@ class PointSpec:
     batch: int = 1
     arrival_rate: Optional[float] = None
     replicas: int = 1
+    fault_plan: Optional[FaultPlan] = None
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -361,6 +376,10 @@ class PointSpec:
             self.batch,
             self.arrival_rate,
             self.replicas,
+            fault_fingerprint=(
+                self.fault_plan.fingerprint()
+                if self.fault_plan is not None else None
+            ),
         )
 
 
@@ -378,7 +397,11 @@ class SweepSpec:
     the report); ``replica_counts`` is the fleet axis (``(1,)`` by
     default: a single deployment; ``R > 1`` round-robins the offered
     stream across R identical replicas, pricing replicas-vs-chips
-    trade-offs).  ``closure_limit`` bounds the DP partitioner's closure
+    trade-offs); ``fault_plans`` is the availability axis (``(None,)``
+    by default: fault-free serving; a :class:`repro.faults.FaultPlan`
+    entry replays that deterministic fault schedule against the fleet,
+    pricing capacity under failures).  ``closure_limit`` bounds the DP
+    partitioner's closure
     enumeration and may be given per model (Fig. 7 caps EfficientNetB0
     at 64 to keep the sweep tractable).
     """
@@ -395,13 +418,14 @@ class SweepSpec:
     batch_sizes: Tuple[int, ...] = (1,)
     arrival_rates: Tuple[Optional[float], ...] = (None,)
     replica_counts: Tuple[int, ...] = (1,)
+    fault_plans: Tuple[Optional[FaultPlan], ...] = (None,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
                      "input_sizes", "chip_counts", "batch_sizes",
-                     "arrival_rates", "replica_counts"):
+                     "arrival_rates", "replica_counts", "fault_plans"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -431,6 +455,14 @@ class SweepSpec:
             r <= 0 for r in self.replica_counts
         ):
             raise ConfigError("replica counts must be positive")
+        if not self.fault_plans or any(
+            p is not None and not isinstance(p, FaultPlan)
+            for p in self.fault_plans
+        ):
+            raise ConfigError(
+                "fault plans must be FaultPlan instances "
+                "(None = fault-free)"
+            )
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -444,9 +476,9 @@ class SweepSpec:
         """The cross product, in deterministic order.
 
         Order (outer to inner): model, strategy, input size, chip count,
-        batch size, arrival rate, replica count, flit width, MG size --
-        matching the row order of the paper's figure tables (the serving
-        axes ride between the software and hardware axes).
+        batch size, arrival rate, replica count, fault plan, flit width,
+        MG size -- matching the row order of the paper's figure tables
+        (the serving axes ride between the software and hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
@@ -458,25 +490,28 @@ class SweepSpec:
                         for batch in self.batch_sizes:
                             for rate in self.arrival_rates:
                                 for replicas in self.replica_counts:
-                                    for flit in flit_axis:
-                                        for mg in mg_axis:
-                                            out.append(PointSpec(
-                                                model=model,
-                                                strategy=strategy,
-                                                input_size=input_size,
-                                                num_classes=(
-                                                    self.num_classes
-                                                ),
-                                                mg_size=mg,
-                                                flit_bytes=flit,
-                                                closure_limit=(
-                                                    self.limit_for(model)
-                                                ),
-                                                chips=chips,
-                                                batch=batch,
-                                                arrival_rate=rate,
-                                                replicas=replicas,
-                                            ))
+                                    for plan in self.fault_plans:
+                                        for flit in flit_axis:
+                                            for mg in mg_axis:
+                                                out.append(PointSpec(
+                                                    model=model,
+                                                    strategy=strategy,
+                                                    input_size=input_size,
+                                                    num_classes=(
+                                                        self.num_classes
+                                                    ),
+                                                    mg_size=mg,
+                                                    flit_bytes=flit,
+                                                    closure_limit=(
+                                                        self.limit_for(
+                                                            model)
+                                                    ),
+                                                    chips=chips,
+                                                    batch=batch,
+                                                    arrival_rate=rate,
+                                                    replicas=replicas,
+                                                    fault_plan=plan,
+                                                ))
         return out
 
     def __len__(self) -> int:
@@ -484,6 +519,7 @@ class SweepSpec:
             len(self.models) * len(self.strategies) * len(self.input_sizes)
             * len(self.chip_counts) * len(self.batch_sizes)
             * len(self.arrival_rates) * len(self.replica_counts)
+            * len(self.fault_plans)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -504,6 +540,10 @@ class SweepSpec:
             "batch_sizes": list(self.batch_sizes),
             "arrival_rates": list(self.arrival_rates),
             "replica_counts": list(self.replica_counts),
+            "fault_plans": [
+                p.to_dict() if p is not None else None
+                for p in self.fault_plans
+            ],
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -610,13 +650,16 @@ def _derive_report(
     Arrival-rate points go through the serving queueing law
     (:func:`repro.sim.fastmodel.serve_arrivals`, fixed-rate releases);
     fleet points (``replicas > 1``) round-robin the releases across the
-    replicas (:func:`repro.sim.fastmodel.serve_fleet`); plain batch
-    points go through the PR-4 streaming law (:func:`stream_batched`).
-    Either way the derivation is bit-identical to evaluating the point
-    from scratch, which is what lets one base analysis serve a whole
-    batch x rate x replicas sub-grid.
+    replicas (:func:`repro.sim.fastmodel.serve_fleet`); fault points
+    additionally replay the plan's deterministic fault schedule against
+    the fleet; plain batch points go through the PR-4 streaming law
+    (:func:`stream_batched`).  Either way the derivation is
+    bit-identical to evaluating the point from scratch, which is what
+    lets one base analysis serve a whole batch x rate x replicas x
+    faults sub-grid.
     """
-    if pspec.arrival_rate is not None or pspec.replicas > 1:
+    if (pspec.arrival_rate is not None or pspec.replicas > 1
+            or pspec.fault_plan is not None):
         arch = pspec.resolve_arch(base_arch)
         releases = (
             _rate_releases(arch, pspec.arrival_rate, pspec.batch)
@@ -625,6 +668,7 @@ def _derive_report(
         return serve_fleet(
             report, releases, arch.interchip, pspec.replicas,
             arrival_rate_inf_s=pspec.arrival_rate,
+            faults=pspec.fault_plan,
         )
     if pspec.batch > 1:
         return stream_batched(report, pspec.batch)
@@ -632,8 +676,10 @@ def _derive_report(
 
 
 def _base_spec(pspec: PointSpec) -> PointSpec:
-    """The batch-independent, arrival-free coordinates of a point."""
-    return replace(pspec, batch=1, arrival_rate=None, replicas=1)
+    """The batch-independent, arrival-free, fault-free coordinates."""
+    return replace(
+        pspec, batch=1, arrival_rate=None, replicas=1, fault_plan=None
+    )
 
 
 def _evaluate_spec(
@@ -719,6 +765,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         batch=pspec.batch,
         arrival_rate=pspec.arrival_rate,
         replicas=pspec.replicas,
+        fault_plan=pspec.fault_plan,
         cached=cached,
     )
 
@@ -818,6 +865,10 @@ def run_sweep(
                     "batch": pspec.batch,
                     "arrival_rate": pspec.arrival_rate,
                     "replicas": pspec.replicas,
+                    "fault_plan": (
+                        pspec.fault_plan.fingerprint()
+                        if pspec.fault_plan is not None else None
+                    ),
                 },
             )
             journal(keys[index])
@@ -829,9 +880,9 @@ def run_sweep(
             record(index, pspec, _evaluate_spec(pspec, base, memo))
     else:
         by_index = dict(pending)
-        # The batch, arrival-rate, and replicas axes are closed-form
-        # continuations of the base (batch=1, rate=None, replicas=1)
-        # analysis, so the pool only
+        # The batch, arrival-rate, replicas, and fault-plan axes are
+        # closed-form continuations of the base (batch=1, rate=None,
+        # replicas=1, fault-free) analysis, so the pool only
         # ever evaluates *unique base points*; every pending variant is
         # derived in-parent via _derive_report -- bit-identical to
         # evaluating it directly, and each base is planned exactly once

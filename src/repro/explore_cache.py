@@ -23,6 +23,7 @@ Default location: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/explore``.
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from pathlib import Path
@@ -30,6 +31,8 @@ from typing import Any, Dict, Optional, Union
 
 from repro.config import ArchConfig, arch_fingerprint
 from repro.sim.fastmodel import FastReport
+
+logger = logging.getLogger(__name__)
 
 #: Bump when the fast model's semantics change; invalidates old entries.
 #: v2: multi-chip sharding -- keys carry the chip count and architecture
@@ -39,7 +42,9 @@ from repro.sim.fastmodel import FastReport
 #: v4: continuous-arrival serving -- keys carry the arrival rate and
 #: reports carry shard occupancies / latency-percentile fields.
 #: v5: replicated serving fleets -- keys carry the replica count.
-CACHE_SCHEMA_VERSION = 5
+#: v6: fault-tolerant serving -- keys carry the fault-plan fingerprint
+#: and reports carry dropped/retry counts.
+CACHE_SCHEMA_VERSION = 6
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -84,15 +89,16 @@ def point_key(
     batch: int = 1,
     arrival_rate: Optional[float] = None,
     replicas: int = 1,
+    fault_fingerprint: Optional[str] = None,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
     key -- including the multi-chip shard count, the streaming batch
-    size, the continuous-arrival rate and the fleet replica count; the
-    architecture contributes through its own content fingerprint so
-    structurally identical :class:`ArchConfig` instances collide (which
-    is exactly what we want).
+    size, the continuous-arrival rate, the fleet replica count and the
+    fault-plan fingerprint; the architecture contributes through its own
+    content fingerprint so structurally identical :class:`ArchConfig`
+    instances collide (which is exactly what we want).
     """
     material = json.dumps(
         {
@@ -107,6 +113,7 @@ def point_key(
             "batch": batch,
             "arrival_rate": arrival_rate,
             "replicas": replicas,
+            "faults": fault_fingerprint,
         },
         sort_keys=True,
         separators=(",", ":"),
@@ -130,6 +137,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corrupt_evictions = 0
         self._stores_since_gc = 0
 
     # -- addressing ---------------------------------------------------------
@@ -140,15 +148,32 @@ class ResultCache:
     def lookup(self, key: str) -> Optional[FastReport]:
         """Return the cached report for ``key``, or ``None`` on a miss.
 
-        Unreadable, corrupt, or schema-mismatched entries count as misses.
+        Unreadable, corrupt, or schema-mismatched entries count as
+        misses.  A corrupt entry (truncated write, bit flip, wrong
+        shape) is additionally *evicted* so the recomputed result can be
+        stored cleanly in its place -- the sweep recovers by recomputing
+        one point instead of crashing or tripping over the same bad file
+        forever.
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("schema") != CACHE_SCHEMA_VERSION:
-                raise ValueError("cache schema mismatch")
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("cache payload is not an object")
+            schema = payload.get("schema")
             report = FastReport.from_dict(payload["report"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError, AttributeError) as exc:
+            self._evict_corrupt(path, key, exc)
+            self.misses += 1
+            return None
+        if schema != CACHE_SCHEMA_VERSION:
+            # A well-formed entry from an older schema: stale, not
+            # corrupt.  Count a miss; the recompute overwrites in place.
             self.misses += 1
             return None
         try:
@@ -193,6 +218,18 @@ class ResultCache:
         if self.max_bytes and self._stores_since_gc >= _GC_STORE_INTERVAL:
             self.gc()
         return path
+
+    def _evict_corrupt(self, path: Path, key: str, exc: BaseException) -> None:
+        """Remove an unparsable entry so the slot can be recomputed."""
+        try:
+            path.unlink()
+        except OSError:
+            return
+        self.corrupt_evictions += 1
+        logger.warning(
+            "evicted corrupt cache entry %s (%s: %s); recomputing",
+            key, type(exc).__name__, exc,
+        )
 
     # -- maintenance --------------------------------------------------------
     def gc(self) -> int:
@@ -327,12 +364,16 @@ class SweepManifest:
 
         An unreadable journal, a schema mismatch, or a fingerprint
         mismatch yields the empty set -- resume is best-effort, never an
-        error.
+        error.  A crash mid-append can tear the final line (including
+        mid-way through a multibyte sequence), so the journal is decoded
+        permissively and unparsable lines are discarded rather than
+        raised.
         """
         try:
-            lines = self.path.read_text().splitlines()
+            raw = self.path.read_bytes()
         except OSError:
             return frozenset()
+        lines = raw.decode("utf-8", errors="replace").splitlines()
         if not lines:
             return frozenset()
         try:

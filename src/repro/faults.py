@@ -1,0 +1,819 @@
+"""Deterministic fault injection for replicated serving.
+
+A :class:`FaultPlan` is a seeded, typed description of everything that
+goes wrong during a serving run: replicas crash
+(:class:`ReplicaCrash`), run slow for a window
+(:class:`ReplicaSlowdown`), lose link bandwidth
+(:class:`LinkDegrade`), or fail individual requests at completion time
+(:class:`TransientRequestFailure`).  Every event is a pure function of
+cycle counts and seeds -- no wall clock, no global RNG -- so the same
+plan replayed against the same arrival stream reproduces the same
+report byte for byte, in the same process or across processes.
+
+:func:`run_fault_schedule` is the shared failover engine both fidelity
+tiers drive (``docs/ARCHITECTURE.md``, "Fault model & failover
+contract"): health-aware dispatch (dead replicas stop receiving work),
+a :class:`RetryPolicy` that re-enqueues failed or crash-killed attempts
+onto surviving replicas, and graceful degradation -- a request that
+exhausts its attempts, outlives its deadline, or finds no live replica
+is recorded as *dropped*, never silently lost.  Conservation is an
+invariant the engine itself asserts::
+
+    submitted == completed + dropped
+
+Timing faults reuse the exact streaming recurrence: each replica's
+admission mirror applies the same per-shard inner loop as
+:func:`repro.sim.multichip.streaming_schedule`, and the plan's
+:meth:`FaultPlan.schedule_hooks` plug straight into that function's
+``service_time`` / ``link_time`` parameters, so a cycle-exact replay of
+one replica's admitted attempts reproduces the engine's predicted
+start/finish cycles exactly.  An empty plan with no retry policy is the
+identity: :class:`repro.serve.Fleet` routes it through the unfaulted
+PR-6 path, bit-identical in both tiers.
+"""
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, replace
+from heapq import heappop, heappush
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import InterChipConfig
+from repro.errors import FaultError, SimulationError
+from repro.sim.multichip import TransferEdge
+
+#: Why a request was dropped (the graceful-degradation taxonomy).
+DROP_DEADLINE = "deadline"
+DROP_MAX_ATTEMPTS = "max_attempts"
+DROP_NO_REPLICA = "no_replica"
+
+
+# ---------------------------------------------------------------------------
+# Fault events
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ReplicaCrash:
+    """Replica ``replica`` dies permanently at ``at_cycle``.
+
+    From ``at_cycle`` on the replica accepts no new dispatches; any
+    attempt still in flight whose finish would land after the crash is
+    killed *at* the crash cycle (its partial service is lost and it
+    consumes no energy) and becomes eligible for retry on a survivor.
+    """
+
+    replica: int
+    at_cycle: int
+
+    def __post_init__(self):
+        if self.replica < 0:
+            raise FaultError(
+                f"crash replica must be >= 0, got {self.replica}"
+            )
+        if self.at_cycle < 0:
+            raise FaultError(
+                f"crash cycle must be >= 0, got {self.at_cycle}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "replica_crash",
+            "replica": int(self.replica),
+            "at_cycle": int(self.at_cycle),
+        }
+
+    def describe(self) -> str:
+        return f"crash(r{self.replica}@{self.at_cycle})"
+
+
+@dataclass(frozen=True)
+class ReplicaSlowdown:
+    """Replica ``replica`` runs ``factor``x slower inside a cycle window.
+
+    A shard pass *starting* inside ``[start_cycle, end_cycle)`` takes
+    ``ceil(base * factor)`` cycles instead of ``base``.  Overlapping
+    slowdowns multiply.  ``end_cycle=None`` means the window never
+    closes.
+    """
+
+    replica: int
+    factor: float
+    start_cycle: int = 0
+    end_cycle: Optional[int] = None
+
+    def __post_init__(self):
+        if self.replica < 0:
+            raise FaultError(
+                f"slowdown replica must be >= 0, got {self.replica}"
+            )
+        if not self.factor >= 1.0:
+            raise FaultError(
+                f"slowdown factor must be >= 1.0, got {self.factor}"
+            )
+        if self.start_cycle < 0:
+            raise FaultError("slowdown window must start at cycle >= 0")
+        if self.end_cycle is not None and self.end_cycle <= self.start_cycle:
+            raise FaultError(
+                f"slowdown window [{self.start_cycle}, {self.end_cycle}) "
+                f"is empty"
+            )
+
+    def active_at(self, cycle: int) -> bool:
+        if cycle < self.start_cycle:
+            return False
+        return self.end_cycle is None or cycle < self.end_cycle
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "replica_slowdown",
+            "replica": int(self.replica),
+            "factor": float(self.factor),
+            "start_cycle": int(self.start_cycle),
+            "end_cycle": (
+                None if self.end_cycle is None else int(self.end_cycle)
+            ),
+        }
+
+    def describe(self) -> str:
+        return f"slow(r{self.replica} x{self.factor:g})"
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """Inter-chip links lose bandwidth inside a cycle window.
+
+    A transfer *departing* inside ``[start_cycle, end_cycle)`` sees its
+    serialization stretched by ``1 / bw_factor`` (propagation latency is
+    unaffected -- bandwidth loss, not distance).  ``replica=None``
+    degrades every replica's links; otherwise only the named replica's.
+    Overlapping degrades multiply.
+    """
+
+    bw_factor: float
+    start_cycle: int = 0
+    end_cycle: Optional[int] = None
+    replica: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.bw_factor <= 1.0:
+            raise FaultError(
+                f"link bw_factor must be in (0, 1], got {self.bw_factor}"
+            )
+        if self.start_cycle < 0:
+            raise FaultError("link-degrade window must start at cycle >= 0")
+        if self.end_cycle is not None and self.end_cycle <= self.start_cycle:
+            raise FaultError(
+                f"link-degrade window [{self.start_cycle}, "
+                f"{self.end_cycle}) is empty"
+            )
+        if self.replica is not None and self.replica < 0:
+            raise FaultError(
+                f"link-degrade replica must be >= 0, got {self.replica}"
+            )
+
+    def active_at(self, cycle: int) -> bool:
+        if cycle < self.start_cycle:
+            return False
+        return self.end_cycle is None or cycle < self.end_cycle
+
+    def applies_to(self, replica: int) -> bool:
+        return self.replica is None or self.replica == replica
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "link_degrade",
+            "bw_factor": float(self.bw_factor),
+            "start_cycle": int(self.start_cycle),
+            "end_cycle": (
+                None if self.end_cycle is None else int(self.end_cycle)
+            ),
+            "replica": (
+                None if self.replica is None else int(self.replica)
+            ),
+        }
+
+    def describe(self) -> str:
+        scope = "all" if self.replica is None else f"r{self.replica}"
+        return f"link({scope} x{self.bw_factor:g})"
+
+
+@dataclass(frozen=True)
+class TransientRequestFailure:
+    """Each attempt independently fails with probability ``prob``.
+
+    The draw is a pure hash of ``(seed, request, attempt)`` -- stable
+    across processes, platforms and Python hash randomisation -- so the
+    same plan always fails the same attempts.  A failed attempt consumed
+    full service (the work ran, the result was lost) and is retried
+    under the :class:`RetryPolicy`.
+    """
+
+    prob: float
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.prob <= 1.0:
+            raise FaultError(
+                f"transient failure prob must be in [0, 1], got {self.prob}"
+            )
+
+    def fails(self, request: int, attempt: int) -> bool:
+        token = f"{int(self.seed)}:{int(request)}:{int(attempt)}"
+        digest = hashlib.sha256(token.encode("ascii")).digest()
+        draw = int.from_bytes(digest[:8], "big") / 2.0 ** 64
+        return draw < self.prob
+
+    def to_dict(self) -> Dict:
+        return {
+            "type": "transient_request_failure",
+            "prob": float(self.prob),
+            "seed": int(self.seed),
+        }
+
+    def describe(self) -> str:
+        return f"flaky(p={self.prob:g}, seed {self.seed})"
+
+
+FaultEvent = Union[
+    ReplicaCrash, ReplicaSlowdown, LinkDegrade, TransientRequestFailure
+]
+
+_EVENT_TYPES = {
+    "replica_crash": ReplicaCrash,
+    "replica_slowdown": ReplicaSlowdown,
+    "link_degrade": LinkDegrade,
+    "transient_request_failure": TransientRequestFailure,
+}
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What the fleet does when an attempt fails.
+
+    A failed attempt (transient failure or crash kill) is re-enqueued
+    ``backoff_cycles`` after the failure, up to ``max_attempts`` total
+    attempts per request.  ``per_request_deadline_cycles`` bounds the
+    client-visible latency: a request whose completion (or whose next
+    retry opportunity) lands past ``release + deadline`` is dropped with
+    reason ``"deadline"`` rather than retried forever.
+    """
+
+    max_attempts: int = 3
+    backoff_cycles: int = 0
+    per_request_deadline_cycles: Optional[int] = None
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise FaultError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_cycles < 0:
+            raise FaultError(
+                f"backoff_cycles must be >= 0, got {self.backoff_cycles}"
+            )
+        if (
+            self.per_request_deadline_cycles is not None
+            and self.per_request_deadline_cycles <= 0
+        ):
+            raise FaultError(
+                f"per_request_deadline_cycles must be > 0, got "
+                f"{self.per_request_deadline_cycles}"
+            )
+
+    def to_dict(self) -> Dict:
+        return {
+            "max_attempts": int(self.max_attempts),
+            "backoff_cycles": int(self.backoff_cycles),
+            "per_request_deadline_cycles": (
+                None if self.per_request_deadline_cycles is None
+                else int(self.per_request_deadline_cycles)
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RetryPolicy":
+        try:
+            return cls(
+                max_attempts=int(payload.get("max_attempts", 3)),
+                backoff_cycles=int(payload.get("backoff_cycles", 0)),
+                per_request_deadline_cycles=(
+                    None
+                    if payload.get("per_request_deadline_cycles") is None
+                    else int(payload["per_request_deadline_cycles"])
+                ),
+            )
+        except (TypeError, ValueError) as exc:
+            raise FaultError(f"malformed retry policy: {exc}") from exc
+
+    def describe(self) -> str:
+        parts = [f"attempts<={self.max_attempts}"]
+        if self.backoff_cycles:
+            parts.append(f"backoff {self.backoff_cycles}")
+        if self.per_request_deadline_cycles is not None:
+            parts.append(f"deadline {self.per_request_deadline_cycles}")
+        return "retry(" + ", ".join(parts) + ")"
+
+
+# ---------------------------------------------------------------------------
+# Fault plan
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of fault events plus an optional
+    embedded :class:`RetryPolicy`.
+
+    Hashable and picklable, so plans ride through sweep cache keys and
+    process pools unchanged.  The empty plan is the identity:
+    ``FaultPlan()`` injected nothing and (absent an explicit retry
+    policy) leaves :class:`repro.serve.Fleet` on the exact unfaulted
+    code path.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    retry: Optional[RetryPolicy] = None
+
+    def __post_init__(self):
+        events = tuple(self.events)
+        for event in events:
+            if not isinstance(event, tuple(_EVENT_TYPES.values())):
+                raise FaultError(
+                    f"unknown fault event {type(event).__name__}"
+                )
+        object.__setattr__(self, "events", events)
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def crash_cycle(self, replica: int) -> Optional[int]:
+        """Cycle at which ``replica`` dies (earliest crash wins)."""
+        cycles = [
+            e.at_cycle for e in self.events
+            if isinstance(e, ReplicaCrash) and e.replica == replica
+        ]
+        return min(cycles) if cycles else None
+
+    def attempt_fails(self, request: int, attempt: int) -> bool:
+        """Whether any transient-failure event kills this attempt."""
+        return any(
+            e.fails(request, attempt) for e in self.events
+            if isinstance(e, TransientRequestFailure)
+        )
+
+    def schedule_hooks(self, replica: int, link: InterChipConfig):
+        """``(service_time, link_time)`` hooks for one replica's replay.
+
+        The exact callables :func:`repro.sim.multichip.streaming_schedule`
+        accepts; ``(None, None)`` when no timing event touches the
+        replica, so the unfaulted arithmetic stays untouched.
+        """
+        slowdowns = tuple(
+            e for e in self.events
+            if isinstance(e, ReplicaSlowdown) and e.replica == replica
+        )
+        degrades = tuple(
+            e for e in self.events
+            if isinstance(e, LinkDegrade) and e.applies_to(replica)
+        )
+        service_time = None
+        if slowdowns:
+            def service_time(k, start, base):
+                factor = 1.0
+                for event in slowdowns:
+                    if event.active_at(start):
+                        factor *= event.factor
+                if factor == 1.0:
+                    return base
+                return int(math.ceil(base * factor))
+        link_time = None
+        if degrades:
+            def link_time(src, dst, depart, nbytes):
+                ser = link.serialization_cycles(nbytes)
+                bw = 1.0
+                for event in degrades:
+                    if event.active_at(depart):
+                        bw *= event.bw_factor
+                if bw < 1.0:
+                    ser = int(math.ceil(ser / bw))
+                return ser, link.latency_cycles + ser
+        return service_time, link_time
+
+    def replica_timeline(self, replicas: int) -> List[List[Dict]]:
+        """Per-replica downtime/degradation windows, for reports."""
+        timeline: List[List[Dict]] = [[] for _ in range(replicas)]
+        for event in self.events:
+            if isinstance(event, ReplicaCrash):
+                if event.replica < replicas:
+                    timeline[event.replica].append({
+                        "kind": "crash",
+                        "start_cycle": int(event.at_cycle),
+                        "end_cycle": None,
+                    })
+            elif isinstance(event, ReplicaSlowdown):
+                if event.replica < replicas:
+                    timeline[event.replica].append({
+                        "kind": "slowdown",
+                        "factor": float(event.factor),
+                        "start_cycle": int(event.start_cycle),
+                        "end_cycle": event.end_cycle,
+                    })
+            elif isinstance(event, LinkDegrade):
+                targets = (
+                    range(replicas) if event.replica is None
+                    else [event.replica]
+                )
+                for r in targets:
+                    if r < replicas:
+                        timeline[r].append({
+                            "kind": "link_degrade",
+                            "bw_factor": float(event.bw_factor),
+                            "start_cycle": int(event.start_cycle),
+                            "end_cycle": event.end_cycle,
+                        })
+        for windows in timeline:
+            windows.sort(
+                key=lambda w: (w["start_cycle"], w["kind"])
+            )
+        return timeline
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "events": [e.to_dict() for e in self.events],
+            "retry": None if self.retry is None else self.retry.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "FaultPlan":
+        if not isinstance(payload, dict):
+            raise FaultError(
+                f"fault plan must be a JSON object, got "
+                f"{type(payload).__name__}"
+            )
+        events: List[FaultEvent] = []
+        for entry in payload.get("events", []):
+            if not isinstance(entry, dict) or "type" not in entry:
+                raise FaultError(
+                    "each fault event needs a 'type' tag; got "
+                    f"{entry!r}"
+                )
+            kind = entry["type"]
+            klass = _EVENT_TYPES.get(kind)
+            if klass is None:
+                raise FaultError(
+                    f"unknown fault event type {kind!r}; expected one of "
+                    f"{sorted(_EVENT_TYPES)}"
+                )
+            kwargs = {k: v for k, v in entry.items() if k != "type"}
+            try:
+                events.append(klass(**kwargs))
+            except TypeError as exc:
+                raise FaultError(
+                    f"malformed {kind} event {entry!r}: {exc}"
+                ) from exc
+        retry = payload.get("retry")
+        return cls(
+            events=tuple(events),
+            retry=None if retry is None else RetryPolicy.from_dict(retry),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash; the sweep-cache key material for plans."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("ascii")).hexdigest()[:16]
+
+    def describe(self) -> str:
+        if self.is_empty and self.retry is None:
+            return "no-fault"
+        parts = [e.describe() for e in self.events]
+        if self.retry is not None:
+            parts.append(self.retry.describe())
+        return "+".join(parts) if parts else "no-fault"
+
+    def with_retry(self, retry: RetryPolicy) -> "FaultPlan":
+        return replace(self, retry=retry)
+
+
+def save_fault_plan(plan: FaultPlan, path) -> None:
+    """Write a plan (and its embedded retry policy) as a JSON file."""
+    Path(path).write_text(json.dumps(plan.to_dict(), indent=2) + "\n")
+
+
+def load_fault_plan(path) -> FaultPlan:
+    """Load a :class:`FaultPlan` from a JSON file.
+
+    Raises :class:`~repro.errors.FaultError` (a
+    :class:`~repro.errors.ReproError`) for a missing, unreadable or
+    malformed file, so CLI verbs can fail with a one-line message.
+    """
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise FaultError(f"cannot read fault plan {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except ValueError as exc:
+        raise FaultError(
+            f"fault plan {path} is not valid JSON: {exc}"
+        ) from exc
+    return FaultPlan.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Failover engine
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One dispatch of one request onto one replica."""
+
+    request: int
+    attempt: int
+    replica: int
+    dispatch_cycle: int
+    finish_cycle: int  #: completion cycle, or the crash cycle if killed
+    status: str  #: "completed" | "transient" | "crashed" | "late"
+
+    @property
+    def full_service(self) -> bool:
+        """Whether the replica ran the whole inference (energy charged).
+
+        Crash-killed attempts lose their partial work and consume no
+        modeled energy; completed, transiently-failed and past-deadline
+        attempts all did the full compute.
+        """
+        return self.status != "crashed"
+
+
+class _FaultyReplicaState:
+    """One replica's admission mirror under a fault plan.
+
+    The same incremental recurrence as
+    :class:`repro.serve._ReplicaState`, with the plan's timing hooks
+    applied -- so replaying the admitted dispatch cycles through
+    :func:`repro.sim.multichip.streaming_schedule` with the same hooks
+    reproduces these finish cycles exactly (the cycle-exact tier
+    contract).
+    """
+
+    def __init__(
+        self,
+        row: Sequence[int],
+        edges: Sequence[TransferEdge],
+        link: InterChipConfig,
+        plan: FaultPlan,
+        replica: int,
+    ):
+        self.row = list(row)
+        self.edges = list(edges)
+        self.link = link
+        self.replica = replica
+        self.crash = plan.crash_cycle(replica)
+        self.service_time, self.link_time = plan.schedule_hooks(
+            replica, link
+        )
+        self.prev_finish = [0] * len(self.row)
+        self.link_free: Dict[Tuple[int, int], int] = {}
+        self.in_flight: List[int] = []  #: effective finish cycles
+
+    def alive_at(self, cycle: int) -> bool:
+        return self.crash is None or cycle < self.crash
+
+    def admit(self, release: int) -> Tuple[int, int]:
+        """Account one attempt dispatched at ``release``.
+
+        Returns ``(start, finish)`` where ``start`` is the shard-0 entry
+        cycle and ``finish`` the last-shard completion cycle, ignoring
+        any crash (the caller decides whether the crash kills it).
+        """
+        n = len(self.row)
+        arrival = [0] * n
+        if n:
+            arrival[0] = release
+        starts = [0] * n
+        finishes = [0] * n
+        for k in range(n):
+            starts[k] = max(arrival[k], self.prev_finish[k])
+            occupancy = self.row[k]
+            if self.service_time is not None:
+                occupancy = self.service_time(k, starts[k], occupancy)
+            finishes[k] = starts[k] + occupancy
+            for src, dst, nbytes in self.edges:
+                if src != k:
+                    continue
+                depart = max(
+                    finishes[k], self.link_free.get((src, dst), 0)
+                )
+                if self.link_time is None:
+                    ser = self.link.serialization_cycles(nbytes)
+                    lat = self.link.transfer_cycles(nbytes)
+                else:
+                    ser, lat = self.link_time(src, dst, depart, nbytes)
+                self.link_free[(src, dst)] = depart + ser
+                arrive = depart + lat
+                arrival[dst] = max(arrival[dst], arrive)
+        self.prev_finish = finishes
+        finish = max(finishes) if finishes else release
+        effective = finish if self.crash is None else min(finish, self.crash)
+        self.in_flight.append(effective)
+        return (starts[0] if n else release), finish
+
+    def queue_depth(self, now: int) -> int:
+        return sum(1 for f in self.in_flight if f > now)
+
+
+@dataclass
+class FaultSchedule:
+    """The failover engine's complete, deterministic account of one run.
+
+    Per global request ``i``: ``assignments[i]`` is the replica that
+    *completed* it (``-1`` if dropped), ``finishes[i]`` its completion
+    cycle (``0`` if dropped), ``statuses[i]`` either ``"completed"`` or
+    a drop reason, and ``attempt_counts[i]`` how many dispatches it
+    took.  ``attempts`` is every dispatch in engine order;
+    ``replica_attempts[r]`` replica ``r``'s admissions in admission
+    order (the replay order).  Conservation
+    (``submitted == completed + dropped``) is asserted at construction.
+    """
+
+    batch: int
+    replicas: int
+    assignments: List[int]
+    finishes: List[int]
+    statuses: List[str]
+    attempt_counts: List[int]
+    retries: int
+    attempts: List[AttemptRecord]
+    replica_attempts: List[List[AttemptRecord]]
+    makespan: int
+
+    @property
+    def completed(self) -> List[int]:
+        return [
+            i for i, s in enumerate(self.statuses) if s == "completed"
+        ]
+
+    @property
+    def dropped(self) -> List[int]:
+        return [
+            i for i, s in enumerate(self.statuses) if s != "completed"
+        ]
+
+    @property
+    def drop_reasons(self) -> Dict[int, str]:
+        return {
+            i: s for i, s in enumerate(self.statuses) if s != "completed"
+        }
+
+    def check_conservation(self) -> None:
+        if len(self.completed) + len(self.dropped) != self.batch:
+            raise SimulationError(
+                f"request conservation violated: {self.batch} submitted "
+                f"!= {len(self.completed)} completed + "
+                f"{len(self.dropped)} dropped"
+            )
+
+
+def run_fault_schedule(
+    releases: Sequence[int],
+    row: Sequence[int],
+    edges: Sequence[TransferEdge],
+    link: InterChipConfig,
+    replicas: int,
+    policy: str = "rr",
+    plan: Optional[FaultPlan] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> FaultSchedule:
+    """Run the health-aware dispatch + retry engine over one stream.
+
+    ``row`` is the per-shard service profile of one input (timing is
+    data-independent under per-input isolation), ``edges`` the per-input
+    transfer schedule; both fidelity tiers feed the same values, which
+    is what makes the availability law tier-equivalent.  Dispatch:
+    ``"rr"`` rotates over the replicas *alive at dispatch time*
+    (degenerating to ``i % R`` while all survive), ``"jsq"`` joins the
+    live replica with the fewest predicted in-flight attempts.  Events
+    are processed in ``(ready_cycle, request, attempt)`` order, so the
+    outcome is a pure function of the inputs.
+    """
+    plan = plan if plan is not None else FaultPlan()
+    policy_retry = retry if retry is not None else plan.retry
+    rp = policy_retry if policy_retry is not None else RetryPolicy()
+    batch = len(releases)
+    deadline = rp.per_request_deadline_cycles
+
+    states = [
+        _FaultyReplicaState(row, edges, link, plan, r)
+        for r in range(replicas)
+    ]
+    assignments = [-1] * batch
+    finishes = [0] * batch
+    statuses = [""] * batch
+    attempt_counts = [0] * batch
+    attempts: List[AttemptRecord] = []
+    replica_attempts: List[List[AttemptRecord]] = [
+        [] for _ in range(replicas)
+    ]
+    retries = 0
+    makespan = 0
+    rr_cursor = 0
+
+    heap: List[Tuple[int, int, int]] = []
+    for i, release in enumerate(releases):
+        heappush(heap, (int(release), i, 1))
+
+    while heap:
+        ready, request, attempt = heappop(heap)
+        release = int(releases[request])
+        if deadline is not None and ready > release + deadline:
+            statuses[request] = DROP_DEADLINE
+            continue
+        alive = [r for r in range(replicas) if states[r].alive_at(ready)]
+        if not alive:
+            statuses[request] = DROP_NO_REPLICA
+            continue
+        if policy == "jsq":
+            choice = min(
+                alive, key=lambda r: (states[r].queue_depth(ready), r)
+            )
+        else:
+            choice = alive[rr_cursor % len(alive)]
+            rr_cursor += 1
+        state = states[choice]
+        attempt_counts[request] = attempt
+        _, finish = state.admit(ready)
+
+        if state.crash is not None and finish > state.crash:
+            record = AttemptRecord(
+                request, attempt, choice, ready, state.crash, "crashed"
+            )
+            attempts.append(record)
+            replica_attempts[choice].append(record)
+            makespan = max(makespan, state.crash)
+            if attempt < rp.max_attempts:
+                retries += 1
+                heappush(
+                    heap,
+                    (state.crash + rp.backoff_cycles, request, attempt + 1),
+                )
+            else:
+                statuses[request] = DROP_MAX_ATTEMPTS
+            continue
+
+        makespan = max(makespan, finish)
+        if plan.attempt_fails(request, attempt):
+            record = AttemptRecord(
+                request, attempt, choice, ready, finish, "transient"
+            )
+            attempts.append(record)
+            replica_attempts[choice].append(record)
+            if attempt < rp.max_attempts:
+                retries += 1
+                heappush(
+                    heap,
+                    (finish + rp.backoff_cycles, request, attempt + 1),
+                )
+            else:
+                statuses[request] = DROP_MAX_ATTEMPTS
+            continue
+
+        if deadline is not None and finish > release + deadline:
+            record = AttemptRecord(
+                request, attempt, choice, ready, finish, "late"
+            )
+            attempts.append(record)
+            replica_attempts[choice].append(record)
+            statuses[request] = DROP_DEADLINE
+            continue
+
+        record = AttemptRecord(
+            request, attempt, choice, ready, finish, "completed"
+        )
+        attempts.append(record)
+        replica_attempts[choice].append(record)
+        assignments[request] = choice
+        finishes[request] = finish
+        statuses[request] = "completed"
+
+    schedule = FaultSchedule(
+        batch=batch,
+        replicas=replicas,
+        assignments=assignments,
+        finishes=finishes,
+        statuses=statuses,
+        attempt_counts=attempt_counts,
+        retries=retries,
+        attempts=attempts,
+        replica_attempts=replica_attempts,
+        makespan=makespan,
+    )
+    schedule.check_conservation()
+    return schedule

@@ -41,7 +41,12 @@ import numpy as np
 
 from repro.compiler import CompiledModel, MultiChipModel
 from repro.config import ArchConfig
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
+from repro.faults import (
+    FaultPlan,
+    RetryPolicy,
+    run_fault_schedule,
+)
 from repro.graph.graph import ComputationGraph
 from repro.sim.functional import golden_outputs
 from repro.sim.multichip import (
@@ -920,6 +925,18 @@ class FleetReport:
     inputs).  ``steady_interval_cycles`` is one replica's bottleneck
     interval; the fleet saturation rate is ``replicas`` times the
     single-replica ceiling.
+
+    **Availability** (fault-injected submissions, :mod:`repro.faults`):
+    ``assignments[i] == -1`` marks global input ``i`` as *dropped*
+    (``drop_reasons`` says why, ``input_finishes[i] == 0``); request
+    conservation always holds (``submitted == completed + dropped``).
+    Latency series and percentiles cover completed requests only.
+    ``attempt_counts`` is empty unless the failover engine ran; when it
+    did, ``attempt_counts[i]`` counts input ``i``'s dispatches and
+    ``retries`` the re-enqueues.  ``goodput_inf_per_s`` is the rate of
+    *completed* work over the makespan; ``offered_inf_per_s`` the
+    arrival-stream demand; ``replica_downtime[r]`` the injected
+    crash/slowdown/degrade windows of replica ``r``.
     """
 
     arch: ArchConfig
@@ -938,10 +955,59 @@ class FleetReport:
     macs: int = 0
     instructions: int = 0
     validated: bool = False
+    fault_events: List[Dict] = field(default_factory=list)
+    retry_policy: Optional[Dict] = None
+    dropped_indices: List[int] = field(default_factory=list)
+    drop_reasons: Dict[int, str] = field(default_factory=dict)
+    attempt_counts: List[int] = field(default_factory=list)
+    retries: int = 0
+    replica_downtime: List[List[Dict]] = field(default_factory=list)
+
+    # -- availability --------------------------------------------------------
+    @property
+    def submitted(self) -> int:
+        return self.batch
+
+    @property
+    def completed(self) -> int:
+        return self.batch - len(self.dropped_indices)
+
+    @property
+    def dropped(self) -> int:
+        return len(self.dropped_indices)
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.batch if self.batch else 0.0
+
+    @property
+    def goodput_inf_per_s(self) -> float:
+        """Completed inferences per second over the makespan."""
+        if self.completed == 0 or self.makespan_cycles <= 0:
+            return 0.0
+        return self.completed / (self.makespan_cycles * self.cycle_ns / 1e9)
+
+    @property
+    def offered_inf_per_s(self) -> float:
+        """The arrival stream's demand rate over its release span."""
+        if self.batch < 2:
+            return 0.0
+        span = max(self.releases) - min(self.releases)
+        if span <= 0:
+            return 0.0
+        return (self.batch - 1) / (span * self.cycle_ns / 1e9)
 
     @property
     def latency_cycles(self) -> List[int]:
-        return [f - r for f, r in zip(self.input_finishes, self.releases)]
+        """Per-request latency of *completed* requests, submission order."""
+        dropped = set(self.dropped_indices)
+        return [
+            f - r
+            for i, (f, r) in enumerate(
+                zip(self.input_finishes, self.releases)
+            )
+            if i not in dropped
+        ]
 
     def latency_percentile_cycles(self, pct: float) -> int:
         return latency_percentile(self.latency_cycles, pct)
@@ -1062,6 +1128,24 @@ class FleetReport:
             "energy_breakdown_pj": {
                 k: float(v) for k, v in self.energy_breakdown_pj.items()
             },
+            "submitted": int(self.submitted),
+            "completed": int(self.completed),
+            "dropped": int(self.dropped),
+            "drop_rate": float(self.drop_rate),
+            "dropped_indices": [int(i) for i in self.dropped_indices],
+            "drop_reasons": {
+                str(i): reason
+                for i, reason in sorted(self.drop_reasons.items())
+            },
+            "attempt_counts": [int(c) for c in self.attempt_counts],
+            "retries": int(self.retries),
+            "goodput_inf_per_s": self.goodput_inf_per_s,
+            "offered_inf_per_s": self.offered_inf_per_s,
+            "fault_events": list(self.fault_events),
+            "retry_policy": self.retry_policy,
+            "replica_downtime": [
+                list(windows) for windows in self.replica_downtime
+            ],
         }
 
     def __str__(self) -> str:
@@ -1081,8 +1165,38 @@ class FleetReport:
             f"({self.p99_latency_ms:.3f} ms)",
             f"energy            : {self.total_energy_mj:.4f} mJ "
             f"({self.energy_per_inference_mj:.4f} mJ/inference)",
-            "replica load      :",
         ]
+        if self.attempt_counts:
+            lines.append(
+                f"conservation      : {self.submitted} submitted = "
+                f"{self.completed} completed + {self.dropped} dropped"
+            )
+            lines.append(
+                f"goodput           : {self.goodput_inf_per_s:,.0f} inf/s "
+                f"(offered {self.offered_inf_per_s:,.0f} inf/s, "
+                f"{self.retries} retries)"
+            )
+            if self.drop_reasons:
+                reasons: Dict[str, int] = {}
+                for reason in self.drop_reasons.values():
+                    reasons[reason] = reasons.get(reason, 0) + 1
+                detail = ", ".join(
+                    f"{count}x {reason}"
+                    for reason, count in sorted(reasons.items())
+                )
+                lines.append(f"drops             : {detail}")
+            for r, windows in enumerate(self.replica_downtime):
+                for window in windows:
+                    end = window.get("end_cycle")
+                    span = (
+                        f"[{window['start_cycle']:,}, "
+                        + (f"{end:,})" if end is not None else "inf)")
+                    )
+                    lines.append(
+                        f"fault             : replica {r} "
+                        f"{window['kind']} {span}"
+                    )
+        lines.append("replica load      :")
         for r, (b, util) in enumerate(
             zip(self.replica_batches, self.replica_utilization)
         ):
@@ -1222,6 +1336,8 @@ class Fleet:
         arrivals: Optional[Union[ArrivalProcess, Sequence[int]]] = None,
         seed: int = 0,
         validate: bool = True,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> FleetReport:
         """Submit one stream, dispatched across the replicas.
 
@@ -1230,11 +1346,32 @@ class Fleet:
         order, then routed: replica sub-streams keep their global
         release cycles, so the merged report's latencies are what the
         clients of the whole fleet observe.
+
+        ``faults`` injects a deterministic :class:`~repro.faults.
+        FaultPlan`; ``retry`` overrides the plan's embedded
+        :class:`~repro.faults.RetryPolicy`.  With a plan or policy in
+        play the submission runs through the failover engine
+        (:func:`repro.faults.run_fault_schedule`): dead replicas stop
+        receiving work, failed attempts are retried on survivors, and
+        undeliverable requests are recorded as dropped (conservation:
+        ``submitted == completed + dropped``).  ``faults=None`` (or an
+        empty plan with no retry policy) takes the unfaulted path,
+        bit-identical to a fault-free fleet in both tiers.
         """
         if arrivals is None:
             arrivals = BackToBack()
         elif not isinstance(arrivals, ArrivalProcess):
             arrivals = TraceArrivals(arrivals)
+
+        engine_needed = retry is not None or (
+            faults is not None
+            and not (faults.is_empty and faults.retry is None)
+        )
+        if engine_needed:
+            return self._submit_faulted(
+                inputs, batch, arrivals, seed, validate,
+                faults if faults is not None else FaultPlan(), retry,
+            )
 
         if self.num_replicas == 1:
             report = self.deployment.submit(
@@ -1288,15 +1425,252 @@ class Fleet:
         *,
         seed: int = 0,
         validate: bool = True,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> FleetReport:
         """Replay a recorded arrival trace across the fleet."""
         if not isinstance(trace, TraceArrivals):
             trace = TraceArrivals(trace)
         return self.submit(
             inputs, batch=len(trace) or 1, arrivals=trace, seed=seed,
-            validate=validate,
+            validate=validate, faults=faults, retry=retry,
         ) if len(trace) else self.submit(
-            inputs, batch=0, arrivals=trace, seed=seed, validate=validate
+            inputs, batch=0, arrivals=trace, seed=seed, validate=validate,
+            faults=faults, retry=retry,
+        )
+
+    # -- fault-injected submission -----------------------------------------
+    def _submit_faulted(
+        self,
+        inputs,
+        batch: int,
+        arrivals: ArrivalProcess,
+        seed: int,
+        validate: bool,
+        plan: FaultPlan,
+        retry: Optional[RetryPolicy],
+    ) -> FleetReport:
+        """Run one stream through the failover engine.
+
+        Both tiers share :func:`repro.faults.run_fault_schedule` fed
+        with the one-input service profile (timing is data-independent
+        under per-input isolation).  The cyclesim tier then executes
+        each request that received at least one full-service attempt
+        exactly once on the exact simulator (bit-exact golden
+        validation) and charges its measured energy once per
+        full-service attempt; crash-killed attempts lose their partial
+        work and are not charged.  A replica's admitted attempts replay
+        through :func:`repro.sim.multichip.streaming_schedule` with the
+        plan's timing hooks and must reproduce the engine's finish
+        cycles exactly -- the cycle-exact tier-equivalence contract.
+        """
+        rp = retry if retry is not None else (plan.retry or RetryPolicy())
+        dep = self.deployment
+        if isinstance(arrivals, TraceArrivals) and batch == 1:
+            batch = len(arrivals)
+        if batch < 0:
+            raise ConfigError(f"batch must be >= 0, got {batch}")
+
+        resolved = None
+        if dep.tier == "fast":
+            if inputs is not None:
+                batch = len(
+                    _resolve_batch_inputs(self.graph, inputs, batch, seed)
+                )
+        elif batch:
+            resolved = _resolve_batch_inputs(self.graph, inputs, batch, seed)
+            batch = len(resolved)
+
+        fault_fields = dict(
+            fault_events=[e.to_dict() for e in plan.events],
+            retry_policy=rp.to_dict(),
+            replica_downtime=plan.replica_timeline(self.num_replicas),
+        )
+        if batch == 0:
+            empty = [
+                dep._empty_report(TraceArrivals([]))
+                for _ in range(self.num_replicas)
+            ]
+            return self._merge(empty, [], [], arrivals, **fault_fields)
+
+        link = self.arch.interchip
+        row, edges = self._service_profile()
+        releases = arrivals.release_cycles(batch, self.arch.chip.cycle_ns)
+        schedule = run_fault_schedule(
+            releases, row, edges, link, self.num_replicas, self.policy,
+            plan, rp,
+        )
+
+        validated = False
+        if dep.tier == "cyclesim":
+            req_reports, req_outputs, interchip_per_input = (
+                self._execute_faulted_requests(schedule, resolved)
+            )
+            if validate:
+                graph = self.graph
+                input_tensor = graph.input_operators[0].output
+                for i in sorted(req_outputs):
+                    expected = golden_outputs(
+                        graph, {input_tensor: resolved[i]}
+                    )
+                    _validate_outputs(
+                        graph, req_outputs[i], expected,
+                        f"faulted serve, input {i}",
+                    )
+                validated = True
+        else:
+            req_reports, interchip_per_input = None, 0
+
+        reports: List[ServeReport] = []
+        for r in range(self.num_replicas):
+            reports.append(
+                self._faulted_replica_report(
+                    r, schedule, row, edges, link, plan, req_reports,
+                    interchip_per_input, validated,
+                )
+            )
+
+        energy: Dict[str, float] = {}
+        for report in reports:
+            for key, value in report.energy_breakdown_pj.items():
+                energy[key] = energy.get(key, 0.0) + value
+        served = [r for r in reports if r.batch]
+        return FleetReport(
+            arch=self.arch,
+            tier=self.tier,
+            policy=self.policy,
+            replicas=self.num_replicas,
+            batch=batch,
+            arrival=arrivals.describe(),
+            assignments=list(schedule.assignments),
+            releases=list(releases),
+            input_finishes=list(schedule.finishes),
+            makespan_cycles=schedule.makespan,
+            steady_interval_cycles=steady_state_interval(row, edges, link),
+            replica_reports=reports,
+            energy_breakdown_pj=energy,
+            macs=sum(r.macs for r in reports),
+            instructions=sum(r.instructions for r in reports),
+            validated=bool(served) and all(r.validated for r in served),
+            dropped_indices=list(schedule.dropped),
+            drop_reasons=dict(schedule.drop_reasons),
+            attempt_counts=list(schedule.attempt_counts),
+            retries=schedule.retries,
+            **fault_fields,
+        )
+
+    def _execute_faulted_requests(self, schedule, resolved):
+        """Cyclesim functional half: run each surviving request once.
+
+        A request with at least one full-service attempt executed on
+        real hardware; per-input isolation makes one execution's report
+        and outputs exact for every full-service attempt of that
+        request (crash-killed attempts never finished and are excluded).
+        """
+        dep = self.deployment
+        graph = self.graph
+        input_tensor = graph.input_operators[0].output
+        wanted = sorted({
+            a.request for a in schedule.attempts if a.full_service
+        })
+        req_reports: Dict[int, list] = {}
+        req_outputs: Dict[int, Dict] = {}
+        if isinstance(dep.compiled, MultiChipModel):
+            sim = MultiChipSimulator(dep.compiled, engine=dep.engine)
+            for i in wanted:
+                reports, outputs = sim.execute_stream(
+                    [resolved[i]], input_tensor
+                )
+                req_reports[i] = reports[0]
+                req_outputs[i] = outputs[0]
+            interchip_per_input = dep.compiled.interchip_bytes()
+        else:
+            for i in wanted:
+                report, outputs = _run_single_chip(
+                    dep.compiled, resolved[i], dep.engine
+                )
+                req_reports[i] = [report]
+                req_outputs[i] = outputs
+            interchip_per_input = 0
+        return req_reports, req_outputs, interchip_per_input
+
+    def _faulted_replica_report(
+        self, replica, schedule, row, edges, link, plan, req_reports,
+        interchip_per_input, validated,
+    ) -> ServeReport:
+        """One replica's ServeReport under the fault plan.
+
+        Replays the replica's admitted dispatch cycles through the
+        hooked streaming recurrence and asserts the replay reproduces
+        the engine's finish cycles (cycle-exact contract); energy/MACs
+        charge one full per-inference cost per full-service attempt.
+        """
+        dep = self.deployment
+        records = schedule.replica_attempts[replica]
+        full = [a for a in records if a.full_service]
+        if not full:
+            return dep._empty_report(TraceArrivals([]))
+
+        service_time, link_time = plan.schedule_hooks(replica, link)
+        starts, _, input_fin, _ = streaming_schedule(
+            [list(row) for _ in records], edges, link,
+            [a.dispatch_cycle for a in records], service_time, link_time,
+        )
+        for j, record in enumerate(records):
+            if record.full_service and input_fin[j] != record.finish_cycle:
+                raise SimulationError(
+                    f"fault replay diverged on replica {replica}: attempt "
+                    f"{record.request}/{record.attempt} replayed to cycle "
+                    f"{input_fin[j]}, engine predicted "
+                    f"{record.finish_cycle}"
+                )
+        full_idx = [j for j, a in enumerate(records) if a.full_service]
+        makespan = max(
+            min(a.finish_cycle, input_fin[j]) for j, a in enumerate(records)
+        )
+
+        if dep.tier == "cyclesim":
+            per_reports = [req_reports[a.request] for a in full]
+            flat = [rep for reports in per_reports for rep in reports]
+            energy = merge_shard_energy(
+                [rep.energy_breakdown_pj for rep in flat],
+                interchip_per_input * len(full), link,
+            )
+            macs = sum(rep.macs for rep in flat)
+            instructions = sum(rep.instructions for rep in flat)
+        else:
+            shard_reports = dep._fast_shard_reports()
+            interchip_total = sum(nbytes for _, _, nbytes in edges)
+            per_input = merge_shard_energy(
+                [r.energy_breakdown_pj for r in shard_reports],
+                interchip_total, link,
+            )
+            energy = {k: v * len(full) for k, v in per_input.items()}
+            macs = sum(r.macs for r in shard_reports) * len(full)
+            instructions = 0
+            validated = False
+
+        return ServeReport(
+            arch=self.arch,
+            tier=dep.tier,
+            batch=len(full),
+            arrival=f"trace[{len(full)}]",
+            releases=[records[j].dispatch_cycle for j in full_idx],
+            service_starts=[
+                (starts[j][0] if starts[j] else records[j].dispatch_cycle)
+                for j in full_idx
+            ],
+            input_finishes=[input_fin[j] for j in full_idx],
+            makespan_cycles=makespan,
+            steady_interval_cycles=steady_state_interval(row, edges, link),
+            shard_cycles=list(row),
+            shard_utilization=_shard_utilization(
+                [list(row) for _ in full], makespan
+            ),
+            energy_breakdown_pj=energy,
+            macs=macs,
+            instructions=instructions,
+            validated=validated,
         )
 
     def _merge(
@@ -1305,6 +1679,7 @@ class Fleet:
         assignments: List[int],
         releases: List[int],
         arrivals: Optional[ArrivalProcess] = None,
+        **fault_fields,
     ) -> FleetReport:
         finishes = [0] * len(assignments)
         cursor = [0] * len(reports)
@@ -1338,6 +1713,7 @@ class Fleet:
             macs=sum(r.macs for r in reports),
             instructions=sum(r.instructions for r in reports),
             validated=bool(served) and all(r.validated for r in served),
+            **fault_fields,
         )
 
 

@@ -49,6 +49,14 @@ class FastReport:
     report leaves them empty (one implicit shard of ``cycles``).
     Reports derived under an arrival process additionally carry the
     offered rate and nearest-rank latency percentiles.
+
+    Reports priced under a fault plan (:func:`serve_fleet` with
+    ``faults``) additionally record availability: ``dropped`` requests
+    never completed (conservation: ``batch == completed + dropped``;
+    energy/MACs charge actual work done -- one full inference per
+    full-service attempt, including retries), ``retries`` counts
+    re-dispatches, and latency percentiles cover completed requests
+    only.
     """
 
     cycles: int
@@ -64,6 +72,8 @@ class FastReport:
     p50_latency_cycles: int = 0
     p95_latency_cycles: int = 0
     p99_latency_cycles: int = 0
+    dropped: int = 0
+    retries: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -96,13 +106,24 @@ class FastReport:
     def energy_per_inference_mj(self) -> float:
         return self.total_energy_mj / max(1, self.batch)
 
+    @property
+    def completed(self) -> int:
+        return self.batch - self.dropped
+
+    @property
+    def goodput_inf_per_s(self) -> float:
+        """Completed inferences per second over the stream makespan."""
+        if self.completed <= 0 or self.cycles <= 0:
+            return 0.0
+        return self.completed * self.clock_mhz * 1e6 / self.cycles
+
     def to_dict(self) -> Dict:
         """JSON-safe form (inverse of :meth:`from_dict`).
 
         Used by the on-disk sweep cache and the CLI exporters, so it must
         round-trip exactly: ``FastReport.from_dict(r.to_dict()) == r``.
         """
-        return {
+        payload = {
             "cycles": int(self.cycles),
             "energy_breakdown_pj": {
                 k: float(v) for k, v in self.energy_breakdown_pj.items()
@@ -121,6 +142,14 @@ class FastReport:
             "p95_latency_cycles": int(self.p95_latency_cycles),
             "p99_latency_cycles": int(self.p99_latency_cycles),
         }
+        # Availability fields appear only on fault-injected reports:
+        # fault-free reports must serialize exactly as they did before
+        # repro.faults existed (artifact manifests embed this dict and
+        # re-saving a v1 artifact must stay byte-identical).
+        if self.dropped or self.retries:
+            payload["dropped"] = int(self.dropped)
+            payload["retries"] = int(self.retries)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict) -> "FastReport":
@@ -145,6 +174,8 @@ class FastReport:
             p50_latency_cycles=int(data.get("p50_latency_cycles", 0)),
             p95_latency_cycles=int(data.get("p95_latency_cycles", 0)),
             p99_latency_cycles=int(data.get("p99_latency_cycles", 0)),
+            dropped=int(data.get("dropped", 0)),
+            retries=int(data.get("retries", 0)),
         )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
@@ -335,6 +366,9 @@ def serve_fleet(
     link,
     replicas: int,
     arrival_rate_inf_s: Optional[float] = None,
+    faults=None,
+    retry=None,
+    policy: str = "rr",
 ) -> FastReport:
     """Replicated-serving continuation of a single-input report.
 
@@ -350,12 +384,29 @@ def serve_fleet(
     :func:`serve_arrivals` exactly, which is why the sweep engine can
     treat the replicas axis as a closed-form continuation of the same
     base analysis that prices the batch and arrival-rate axes.
+
+    ``faults`` (a :class:`repro.faults.FaultPlan`) and/or ``retry`` (a
+    :class:`repro.faults.RetryPolicy`) switch to the shared failover
+    engine (:func:`repro.faults.run_fault_schedule`) -- the identical
+    contract the cycle-exact tier implements: health-aware ``policy``
+    dispatch over surviving replicas, retries on failure, drops past
+    the deadline.  Energy/MACs then charge actual work (one full
+    per-inference cost per full-service attempt, retries included,
+    crash-killed attempts free), latency percentiles cover completed
+    requests only, and ``dropped`` / ``retries`` land in the report.
+    With ``faults=None`` and ``retry=None`` the unfaulted arithmetic is
+    untouched -- bit-identical to the pre-fault model.
     """
     from repro.serve import latency_percentile
     from repro.sim.multichip import streaming_schedule
 
     if replicas < 1:
         raise ConfigError(f"replicas must be >= 1, got {replicas}")
+    if faults is not None or retry is not None:
+        return _serve_fleet_faulted(
+            report, releases, link, replicas, arrival_rate_inf_s,
+            faults, retry, policy,
+        )
     if replicas == 1:
         return serve_arrivals(report, releases, link, arrival_rate_inf_s)
     if report.batch != 1:
@@ -398,6 +449,59 @@ def serve_fleet(
         p50_latency_cycles=latency_percentile(latencies, 50),
         p95_latency_cycles=latency_percentile(latencies, 95),
         p99_latency_cycles=latency_percentile(latencies, 99),
+    )
+
+
+def _serve_fleet_faulted(
+    report: FastReport,
+    releases: Sequence[int],
+    link,
+    replicas: int,
+    arrival_rate_inf_s: Optional[float],
+    faults,
+    retry,
+    policy: str,
+) -> FastReport:
+    """Fault-injected fleet pricing via the shared failover engine."""
+    from repro.faults import FaultPlan, run_fault_schedule
+    from repro.serve import latency_percentile
+
+    if report.batch != 1:
+        raise ConfigError(
+            f"serve_fleet needs a single-input report, got batch="
+            f"{report.batch}"
+        )
+    plan = faults if faults is not None else FaultPlan()
+    chip_cycles = list(report.shard_cycles) or [report.cycles]
+    schedule = run_fault_schedule(
+        releases, chip_cycles, report.shard_edges, link, replicas,
+        policy, plan, retry,
+    )
+    full_attempts = sum(1 for a in schedule.attempts if a.full_service)
+    latencies = [
+        schedule.finishes[i] - releases[i] for i in schedule.completed
+    ]
+    return FastReport(
+        cycles=schedule.makespan,
+        energy_breakdown_pj={
+            k: v * full_attempts
+            for k, v in report.energy_breakdown_pj.items()
+        },
+        macs=report.macs * full_attempts,
+        clock_mhz=report.clock_mhz,
+        stage_cycles=dict(report.stage_cycles),
+        batch=len(releases),
+        steady_interval_cycles=(
+            report.steady_interval_cycles or report.cycles
+        ),
+        shard_cycles=list(report.shard_cycles),
+        shard_edges=list(report.shard_edges),
+        arrival_rate_inf_s=arrival_rate_inf_s,
+        p50_latency_cycles=latency_percentile(latencies, 50),
+        p95_latency_cycles=latency_percentile(latencies, 95),
+        p99_latency_cycles=latency_percentile(latencies, 99),
+        dropped=len(schedule.dropped),
+        retries=schedule.retries,
     )
 
 

@@ -56,6 +56,8 @@ def streaming_schedule(
     transfers: Sequence[TransferEdge],
     link: InterChipConfig,
     releases: Optional[Sequence[int]] = None,
+    service_time=None,
+    link_time=None,
 ) -> Tuple[List[List[int]], List[List[int]], List[int], int]:
     """Timing recurrence for ``B`` inputs streamed through the pipeline.
 
@@ -85,6 +87,14 @@ def streaming_schedule(
     With one input released at 0 this degenerates to
     :func:`pipeline_schedule` exactly; with all-zero releases it is
     bit-identical to the ``releases=None`` batched schedule.
+
+    ``service_time`` / ``link_time`` are the fault-injection hooks
+    (:mod:`repro.faults`): ``service_time(k, start, base)`` returns chip
+    ``k``'s (possibly slowed) occupancy for a pass starting at ``start``
+    with base time ``base``; ``link_time(src, dst, depart, nbytes)``
+    returns ``(serialization, latency)`` cycles for a transfer departing
+    at ``depart``.  Both default to ``None``, which is the identity --
+    the no-fault schedule is bit-identical to the hook-free one.
     """
     if releases is not None:
         if len(releases) != len(batch_chip_cycles):
@@ -108,15 +118,21 @@ def streaming_schedule(
         finishes = [0] * n
         for k in range(n):
             starts[k] = max(arrival[k], prev_finish[k])
-            finishes[k] = starts[k] + chip_cycles[k]
+            occupancy = chip_cycles[k]
+            if service_time is not None:
+                occupancy = service_time(k, starts[k], occupancy)
+            finishes[k] = starts[k] + occupancy
             for src, dst, nbytes in transfers:
                 if src != k:
                     continue
                 depart = max(finishes[k], link_free.get((src, dst), 0))
-                link_free[(src, dst)] = (
-                    depart + link.serialization_cycles(nbytes)
-                )
-                arrive = depart + link.transfer_cycles(nbytes)
+                if link_time is None:
+                    ser = link.serialization_cycles(nbytes)
+                    lat = link.transfer_cycles(nbytes)
+                else:
+                    ser, lat = link_time(src, dst, depart, nbytes)
+                link_free[(src, dst)] = depart + ser
+                arrive = depart + lat
                 arrival[dst] = max(arrival[dst], arrive)
         prev_finish = finishes
         all_starts.append(starts)

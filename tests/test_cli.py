@@ -216,3 +216,112 @@ class TestSpotCheckOption:
         check = payload["spot_checks"][0]
         assert check["validated"] is True
         assert check["cycles"] > 0 and check["fast_cycles"] > 0
+
+
+@pytest.fixture
+def fault_plan_file(tmp_path):
+    from repro.faults import (
+        FaultPlan, ReplicaCrash, RetryPolicy, save_fault_plan,
+    )
+
+    path = tmp_path / "plan.json"
+    save_fault_plan(
+        FaultPlan(
+            events=(ReplicaCrash(replica=1, at_cycle=200),),
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=10),
+        ),
+        path,
+    )
+    return str(path)
+
+
+class TestServeFaults:
+    def test_serve_with_fault_plan(self, fault_plan_file, tmp_path, capsys):
+        out_json = tmp_path / "serve.json"
+        assert run_cli(
+            "serve", "tiny_mlp", "--preset", "small", "--strategy",
+            "generic", "--input-size", "8", "--num-classes", "10",
+            "--tier", "fast", "--batch", "6", "--replicas", "3",
+            "--faults", fault_plan_file, "--json", str(out_json),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "faults: crash(r1@200)" in out
+        assert "conservation" in out
+        assert "goodput" in out
+        payload = json.loads(out_json.read_text())
+        assert payload["faults"] is not None
+        report = payload["report"]
+        assert report["submitted"] == \
+            report["completed"] + report["dropped"]
+        assert report["goodput_inf_per_s"] > 0
+
+    def test_faults_imply_fleet_even_with_one_replica(self, fault_plan_file,
+                                                      capsys):
+        assert run_cli(
+            "serve", "tiny_mlp", "--preset", "small", "--strategy",
+            "generic", "--input-size", "8", "--num-classes", "10",
+            "--tier", "fast", "--batch", "4", "--faults", fault_plan_file,
+        ) == 0
+        assert "conservation" in capsys.readouterr().out
+
+    def test_sweep_fault_plans_axis(self, fault_plan_file, tmp_path, capsys):
+        out_csv = tmp_path / "sweep.csv"
+        assert run_cli(
+            "sweep", "--models", "tiny_mlp", "--strategies", "generic",
+            "--input-sizes", "8", "--num-classes", "10", "--preset",
+            "small", "--batch", "6", "--replicas", "3", "--fault-plans",
+            f"none,{fault_plan_file}", "--no-cache", "--quiet",
+            "--csv", str(out_csv),
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "good/s" in out  # fault columns appear in the table
+        header, first, second = out_csv.read_text().splitlines()[:3]
+        assert "fault_plan" in header and "goodput_inf_s" in header
+        assert "crash" in second and "crash" not in first
+
+
+class TestErrorHygiene:
+    """Every CLI verb turns typed errors into one-line nonzero exits."""
+
+    @pytest.mark.parametrize("argv", [
+        ("run", "no_such_model", "--preset", "small"),
+        ("run", "missing.artifact", "--preset", "small"),
+        ("compile", "no_such_model", "--preset", "small", "-o", "x.artifact"),
+        ("inspect", "missing.artifact"),
+        ("serve", "no_such_model", "--preset", "small"),
+        ("serve", "missing.artifact", "--preset", "small"),
+        ("serve", "tiny_mlp", "--preset", "small", "--input-size", "8",
+         "--num-classes", "10", "--tier", "fast",
+         "--faults", "missing_plan.json"),
+        ("sweep", "--models", "no_such_model", "--preset", "small",
+         "--no-cache", "--quiet"),
+        ("sweep", "--models", "tiny_mlp", "--preset", "small",
+         "--fault-plans", "missing_plan.json", "--no-cache", "--quiet"),
+    ])
+    def test_bad_input_exits_nonzero_with_message(self, argv, capsys):
+        code = run_cli(*argv)
+        assert code != 0
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_fault_plan_is_one_line(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"events": [{"type": "meteor_strike"}]}')
+        assert run_cli(
+            "serve", "tiny_mlp", "--preset", "small", "--input-size", "8",
+            "--num-classes", "10", "--tier", "fast", "--faults", str(bad),
+        ) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "meteor_strike" in err
+
+    def test_malformed_trace_is_one_line(self, tmp_path, capsys):
+        trace = tmp_path / "trace.txt"
+        trace.write_text("0 100 not_a_cycle")
+        assert run_cli(
+            "serve", "tiny_mlp", "--preset", "small", "--input-size", "8",
+            "--num-classes", "10", "--tier", "fast", "--trace", str(trace),
+        ) == 2
+        assert capsys.readouterr().err.startswith("error:")

@@ -826,3 +826,208 @@ class TestReplicasAxis:
         assert row["replicas"] == 2
         plain = evaluate_fast("tiny_cnn", arch, "dp", 8, 10).to_dict()
         assert plain["replicas"] == 1
+
+
+class TestFaultPlanAxis:
+    """The PR-7 availability axis: fault plans in the cross product."""
+
+    def _plan(self):
+        from repro.faults import FaultPlan, ReplicaCrash, RetryPolicy
+
+        return FaultPlan(
+            events=(ReplicaCrash(replica=1, at_cycle=200),),
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=10),
+        )
+
+    def test_fault_axis_in_cross_product(self):
+        plan = self._plan()
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(4,), replica_counts=(3,),
+            fault_plans=(None, plan),
+        )
+        assert len(spec) == 2
+        assert [p.fault_plan for p in spec.points()] == [None, plan]
+
+    def test_rejects_non_plan_entries(self):
+        with pytest.raises(ConfigError, match="fault plans"):
+            tiny_spec(fault_plans=("plan.json",))
+        with pytest.raises(ConfigError, match="fault plans"):
+            tiny_spec(fault_plans=())
+
+    def test_fault_plan_in_cache_key(self):
+        arch = small_test_arch()
+        plain = point_key("tiny_cnn", arch, "dp", 8, 10, None, 1, 4, None, 3)
+        faulted = point_key(
+            "tiny_cnn", arch, "dp", 8, 10, None, 1, 4, None, 3,
+            fault_fingerprint=self._plan().fingerprint(),
+        )
+        assert plain != faulted
+
+    def test_fault_points_match_direct_evaluation(self):
+        arch = small_test_arch()
+        plan = self._plan()
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(6,), replica_counts=(3,),
+            fault_plans=(None, plan),
+        )
+        result = run_sweep(spec)
+        for point in result.points:
+            direct = evaluate_fast(
+                "tiny_cnn", arch, "dp", 8, 10, batch=6, replicas=3,
+                fault_plan=point.fault_plan,
+            )
+            assert point.report == direct.report
+
+    def test_fault_points_share_one_base_analysis(self, monkeypatch):
+        import repro.explore as explore
+
+        calls = []
+        real_plan_graph = explore.plan_graph
+
+        def counting_plan_graph(*args, **kwargs):
+            calls.append(1)
+            return real_plan_graph(*args, **kwargs)
+
+        monkeypatch.setattr(explore, "plan_graph", counting_plan_graph)
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(6,), replica_counts=(1, 3),
+            fault_plans=(None, self._plan()),
+        )
+        result = run_sweep(spec)
+        assert len(result.points) == 4
+        assert len(calls) == 1
+
+    def test_fault_sweep_round_trips_through_cache(self, tmp_path):
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None, batch_sizes=(6,), replica_counts=(3,),
+            fault_plans=(None, self._plan()),
+        )
+        cache = ResultCache(tmp_path)
+        first = run_sweep(spec, cache=cache)
+        second = run_sweep(spec, cache=ResultCache(tmp_path))
+        assert second.stats.cache_hits == 2
+        for a, b in zip(first.points, second.points):
+            assert a.report == b.report
+
+    def test_point_dict_has_fault_columns(self):
+        arch = small_test_arch()
+        row = evaluate_fast(
+            "tiny_cnn", arch, "dp", 8, 10, batch=6, replicas=3,
+            fault_plan=self._plan(),
+        ).to_dict()
+        assert "crash" in row["fault_plan"]
+        assert row["dropped"] == 0
+        assert row["goodput_inf_s"] > 0
+        plain = evaluate_fast("tiny_cnn", arch, "dp", 8, 10).to_dict()
+        assert plain["fault_plan"] is None
+        assert plain["dropped"] == 0
+
+    def test_spec_to_dict_is_json_safe(self):
+        spec = tiny_spec(fault_plans=(None, self._plan()))
+        payload = json.dumps(spec.to_dict())
+        assert "replica_crash" in payload
+
+    def test_schema_v6_carries_the_fault_fingerprint(self):
+        assert CACHE_SCHEMA_VERSION >= 6
+
+
+class TestCacheCorruptionRecovery:
+    """A corrupt cache entry is evicted and recomputed, never fatal."""
+
+    TRIALS = 32
+
+    def _store_one(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = tiny_spec(
+            models=("tiny_cnn",), strategies=("dp",), mg_sizes=None,
+            flit_sizes=None,
+        )
+        run_sweep(spec, cache=cache)
+        key = spec.points()[0].cache_key(spec.arch())
+        return spec, key, cache.path_for(key)
+
+    def test_seeded_fuzz_recovers_from_any_corruption(self, tmp_path):
+        import random
+
+        spec, key, path = self._store_one(tmp_path)
+        blob = path.read_bytes()
+        rng = random.Random(1234)
+        for trial in range(self.TRIALS):
+            data = bytearray(blob)
+            if trial % 2 == 0:
+                cut = rng.randrange(0, len(data))
+                data = data[:cut]
+            else:
+                pos = rng.randrange(0, len(data))
+                data[pos] ^= 1 << rng.randrange(8)
+            path.write_bytes(bytes(data))
+            cache = ResultCache(tmp_path)
+            report = cache.lookup(key)  # must never raise
+            if report is None:
+                # either a clean miss or a corrupt eviction; either way
+                # the sweep recomputes and the cache heals itself
+                result = run_sweep(spec, cache=cache)
+                assert len(result.points) == 1
+                assert path.exists()
+                assert cache.lookup(key) is not None
+
+    def test_corrupt_entry_is_evicted_with_warning(self, tmp_path, caplog):
+        import logging
+
+        _, key, path = self._store_one(tmp_path)
+        path.write_text('{"schema":')
+        cache = ResultCache(tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.explore_cache"):
+            assert cache.lookup(key) is None
+        assert cache.corrupt_evictions == 1
+        assert not path.exists()
+        assert any("corrupt" in r.message for r in caplog.records)
+
+    def test_missing_entry_is_a_plain_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.lookup("0" * 64) is None
+        assert cache.corrupt_evictions == 0
+
+    def test_stale_schema_is_not_treated_as_corruption(self, tmp_path,
+                                                       monkeypatch):
+        import repro.explore_cache as explore_cache
+
+        _, key, path = self._store_one(tmp_path)
+        cache = ResultCache(tmp_path)
+        with monkeypatch.context() as m:
+            m.setattr(
+                explore_cache, "CACHE_SCHEMA_VERSION",
+                CACHE_SCHEMA_VERSION + 1,
+            )
+            assert cache.lookup(key) is None
+        assert cache.corrupt_evictions == 0
+        assert path.exists()
+
+
+class TestManifestTornWrites:
+    """A crash mid-append never breaks the next resume."""
+
+    def test_torn_multibyte_tail_is_discarded(self, tmp_path):
+        from repro.explore_cache import SweepManifest
+
+        manifest = SweepManifest(tmp_path, "e" * 64)
+        manifest.mark("a" * 64)
+        manifest.mark("b" * 64)
+        # a torn write that ends mid-way through a multibyte UTF-8
+        # sequence: decoding must not raise, the tail is dropped
+        with open(manifest.path, "ab") as fh:
+            fh.write(b'{"key": "caf\xc3')
+        assert SweepManifest(tmp_path, "e" * 64).load() == \
+            frozenset({"a" * 64, "b" * 64})
+
+    def test_binary_garbage_journal_yields_empty_set(self, tmp_path):
+        from repro.explore_cache import SweepManifest
+
+        manifest = SweepManifest(tmp_path, "d" * 64)
+        manifest.path.parent.mkdir(parents=True, exist_ok=True)
+        manifest.path.write_bytes(b"\xff\xfe\x00garbage\x80")
+        assert manifest.load() == frozenset()

@@ -34,6 +34,15 @@ PUBLIC_API = sorted([
     "serve_fleet",
     "Fleet",
     "FleetReport",
+    # fault injection & fault-tolerant serving
+    "FaultPlan",
+    "RetryPolicy",
+    "ReplicaCrash",
+    "ReplicaSlowdown",
+    "LinkDegrade",
+    "TransientRequestFailure",
+    "load_fault_plan",
+    "save_fault_plan",
     # compilation
     "compile_model",
     "compile_sharded",
@@ -74,6 +83,7 @@ PUBLIC_API = sorted([
     "CompileError",
     "CapacityError",
     "ArtifactError",
+    "FaultError",
     "SimulationError",
     "ValidationError",
     # metadata
