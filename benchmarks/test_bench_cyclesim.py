@@ -13,6 +13,11 @@ PR-over-PR (CI uploads it as a non-gating artifact):
 - compiled models (``resnet18``, ``mobilenetv2``): end-to-end compiled
   stacks where irreducible NumPy dataflow and NoC modelling bound the
   achievable speedup; gated only on bit-identical reports.
+- ``weight_stream``: multipass weight-streaming conv branches whose
+  loop bodies carry a global ``MEM_CPY`` + ``CIM_LOAD`` per pass -- the
+  iteration-major NoC replay path.  The ``noc_batch_*`` engine stats
+  are asserted non-degenerate here so a silent bailout-to-stepped
+  regression fails this job instead of just slowing the engine down.
 - the historical fast-model anchor (bit-exact golden validation plus an
   order-of-magnitude latency agreement between the cycle simulator and
   the analytic model).
@@ -57,6 +62,9 @@ TINY = os.environ.get("REPRO_BENCH_TINY", "") not in ("", "0")
 HOT_ITERS, MODEL_INPUT, MODEL_CLASSES, ANCHOR_INPUT = (
     (150, 16, 10, 16) if TINY else (1500, 64, 100, 32)
 )
+
+#: Parallel multipass conv branches in the weight-streaming workload.
+STREAM_BRANCHES = 4 if TINY else 16
 
 
 def _report_fields(report):
@@ -185,6 +193,38 @@ def test_bench_model_engine_speedup(model):
     # CI runners -- gate only against catastrophic engine regressions;
     # the magnitude is tracked (non-gating) in BENCH_cyclesim.json.
     assert entry["speedup"] > (0.2 if TINY else 0.3)
+
+
+def test_bench_weight_stream_engine_speedup():
+    """Multipass weight-streaming convs: the iteration-major NoC replay
+    path must engage (non-zero batched NoC windows, zero contention
+    bailouts on this contention-free mapping) and beat the interpreter.
+    """
+    compiled = compile_model(
+        "weight_stream", arch=default_arch(), strategy="generic",
+        branches=STREAM_BRANCHES,
+    )
+
+    def make_sim(engine):
+        return ChipSimulator.from_compiled(compiled, engine=engine)
+
+    entry = _bench_pair(f"weight_stream@{STREAM_BRANCHES}x", make_sim)
+    stats = entry["engine_stats"]
+    assert stats["noc_batch_attempts"] > 0, (
+        "weight-streaming loops never attempted NoC replay -- the "
+        "multipass bodies regressed to per-iteration stepping"
+    )
+    assert stats["noc_batch_successes"] == stats["noc_batch_attempts"], (
+        f"NoC replay silently bailed out on a contention-free workload: "
+        f"{stats['noc_batch_successes']}/{stats['noc_batch_attempts']} "
+        f"windows committed"
+    )
+    assert stats["noc_batch_contention_bailouts"] == 0
+    floor = 1.3 if TINY else 2.5
+    assert entry["speedup"] >= floor, (
+        f"weight-streaming engine speedup regressed to "
+        f"{entry['speedup']:.1f}x (>= {floor}x required)"
+    )
 
 
 def test_bench_cyclesim_fastmodel_anchor():

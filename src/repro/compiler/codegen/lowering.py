@@ -329,26 +329,23 @@ class ProgramGenerator:
                         "MEM_CPY", rs=R_KR0 + kr, rt=R_T1, rd=R_LEN_PATCH
                     )
             num_mgs = self.plan.arch.mgs_per_core
-            for local, (s, tiles) in enumerate(groups):
-                acc_off = local * geometry.tile_cols * 4
-                for mg_index, tile in tiles:
-                    slot = mg_index % num_mgs
-                    if geometry.multipass:
-                        src = self.plan.tile_address(layout.node.name, tile)
-                        e.mem_cpy(src, layout.staging, tile.nbytes)
-                        e.sreg(SReg.MVM_ROWS, tile.rows_used)
-                        e.sreg(SReg.MVM_COLS, tile.cols_used)
-                        e.li(R_T5, layout.staging)
+            if geometry.multipass:
+                vec_base = main.base if is_gemm else layout.imcol
+                self._multipass_tiles(e, layout, groups, vec_base)
+            else:
+                for local, (s, tiles) in enumerate(groups):
+                    acc_off = local * geometry.tile_cols * 4
+                    for mg_index, tile in tiles:
+                        slot = mg_index % num_mgs
+                        e.emit("SC_ADDIW", rs=R_IMC, rt=R_T1,
+                               offset=tile.vec_lo)
+                        e.emit("SC_ADDIW", rs=R_ACC, rt=R_T2,
+                               offset=acc_off)
                         e.li(R_MG, slot)
-                        e.emit("CIM_LOAD", rs=R_T5, rt=R_MG)
-                    e.emit("SC_ADDIW", rs=R_IMC, rt=R_T1,
-                           offset=tile.vec_lo)
-                    e.emit("SC_ADDIW", rs=R_ACC, rt=R_T2, offset=acc_off)
-                    e.li(R_MG, slot)
-                    e.emit(
-                        "CIM_MVM", rs=R_T1, rt=R_MG, re=R_T2,
-                        flags=0 if tile.tile_index == 0 else 1,
-                    )
+                        e.emit(
+                            "CIM_MVM", rs=R_T1, rt=R_MG, re=R_T2,
+                            flags=0 if tile.tile_index == 0 else 1,
+                        )
             self._epilogue_slices(e, layout, groups)
             if not single:
                 for kr in range(kernel):
@@ -358,6 +355,125 @@ class ProgramGenerator:
                        offset=layout.band_width)
 
         self._x_loop(e, layout, body)
+
+    # -- weight streaming (multipass) ------------------------------------------
+    #: Longest SC_ADDIW chain allowed for one pointer step; steps needing
+    #: more stay unrolled.
+    _MAX_STEP_ADDS = 3
+    #: Minimum uniform passes worth a counted loop (below the block
+    #: engine's batch threshold a loop only adds branch overhead).
+    _MIN_PASS_RUN = 4
+
+    def _step_chunks(self, step: int) -> Optional[List[int]]:
+        """Split a pointer step into SC_ADDIW-sized signed immediates."""
+        chunks: List[int] = []
+        sign = 1 if step >= 0 else -1
+        rest = abs(step)
+        while rest:
+            c = min(rest, 32767)
+            chunks.append(sign * c)
+            rest -= c
+            if len(chunks) > self._MAX_STEP_ADDS:
+                return None
+        return chunks
+
+    def _uniform_run(self, tiles, addrs, i: int):
+        """Maximal run of identical-shape accumulating passes from ``i``.
+
+        Returns ``(length, addr_step, vec_step)`` when the run is loopable
+        (every pass accumulates, shapes match, and both the global tile
+        address and the vector offset advance by a constant encodable
+        stride), else ``None``.
+        """
+        t0 = tiles[i][1]
+        if t0.tile_index == 0 or i + 1 >= len(tiles):
+            return None
+        d_addr = addrs[i + 1] - addrs[i]
+        d_vec = tiles[i + 1][1].vec_lo - t0.vec_lo
+        length = 1
+        while i + length < len(tiles):
+            tile = tiles[i + length][1]
+            prev = tiles[i + length - 1][1]
+            if (tile.rows_used != t0.rows_used
+                    or tile.cols_used != t0.cols_used
+                    or addrs[i + length] - addrs[i + length - 1] != d_addr
+                    or tile.vec_lo - prev.vec_lo != d_vec):
+                break
+            length += 1
+        if length < self._MIN_PASS_RUN:
+            return None
+        if self._step_chunks(d_addr) is None or self._step_chunks(d_vec) is None:
+            return None
+        return length, d_addr, d_vec
+
+    def _emit_one_pass(self, e: _Emitter, layout: CoreStageLayout,
+                       mg_index: int, tile, addr: int, acc_off: int) -> None:
+        """One unrolled weight-streaming pass: stage, load, multiply."""
+        slot = mg_index % self.plan.arch.mgs_per_core
+        e.mem_cpy(addr, layout.staging, tile.nbytes)
+        e.sreg(SReg.MVM_ROWS, tile.rows_used)
+        e.sreg(SReg.MVM_COLS, tile.cols_used)
+        e.li(R_T5, layout.staging)
+        e.li(R_MG, slot)
+        e.emit("CIM_LOAD", rs=R_T5, rt=R_MG)
+        e.emit("SC_ADDIW", rs=R_IMC, rt=R_T1, offset=tile.vec_lo)
+        e.emit("SC_ADDIW", rs=R_ACC, rt=R_T2, offset=acc_off)
+        e.li(R_MG, slot)
+        e.emit(
+            "CIM_MVM", rs=R_T1, rt=R_MG, re=R_T2,
+            flags=0 if tile.tile_index == 0 else 1,
+        )
+
+    def _multipass_tiles(self, e: _Emitter, layout: CoreStageLayout,
+                         groups, vec_base: int) -> None:
+        """Weight-streaming passes over each owned column slice.
+
+        Maximal runs of uniform accumulating passes -- same tile shape,
+        constant global-address and vector strides -- are emitted as one
+        counted ISA loop per run, so the block engine can replay them
+        iteration-major (including the per-pass NoC transfer).  The
+        leading ``flags=0`` pass and any irregular tail stay unrolled.
+        """
+        geometry = layout.geometry
+        name = layout.node.name
+        for local, (s, tiles) in enumerate(groups):
+            acc_off = local * geometry.tile_cols * 4
+            addrs = [self.plan.tile_address(name, t) for _, t in tiles]
+            i = 0
+            while i < len(tiles):
+                run = self._uniform_run(tiles, addrs, i)
+                if run is None:
+                    mg_index, tile = tiles[i]
+                    self._emit_one_pass(
+                        e, layout, mg_index, tile, addrs[i], acc_off
+                    )
+                    i += 1
+                    continue
+                length, d_addr, d_vec = run
+                mg_index, t0 = tiles[i]
+                slot = mg_index % self.plan.arch.mgs_per_core
+                e.sreg(SReg.MVM_ROWS, t0.rows_used)
+                e.sreg(SReg.MVM_COLS, t0.cols_used)
+                e.li(R_T3, addrs[i])                # stepping tile source
+                e.li(R_T4, vec_base + t0.vec_lo)    # stepping vector ptr
+                e.li(R_T5, layout.staging)
+                e.li(R_CNT, t0.nbytes)
+                e.emit("SC_ADDIW", rs=R_ACC, rt=R_T2, offset=acc_off)
+                e.li(R_MG, slot)
+                e.li(R_XCNT, 0)
+                e.li(R_XBND, length)
+                head = e.builder.program.new_label("wpass")
+                e.builder.program.place_label(head)
+                e.emit("MEM_CPY", rs=R_T3, rt=R_T5, rd=R_CNT)
+                e.emit("CIM_LOAD", rs=R_T5, rt=R_MG)
+                e.emit("CIM_MVM", rs=R_T4, rt=R_MG, re=R_T2, flags=1)
+                for c in self._step_chunks(d_addr):
+                    e.emit("SC_ADDIW", rs=R_T3, rt=R_T3, offset=c)
+                for c in self._step_chunks(d_vec):
+                    e.emit("SC_ADDIW", rs=R_T4, rt=R_T4, offset=c)
+                e.emit("SC_ADDI", rs=R_XCNT, rt=R_XCNT, imm=1)
+                e.emit("BLT", rs=R_XCNT, rt=R_XBND, target=head)
+                i += length
 
     def _compute_dwconv_row(self, e: _Emitter, layout: CoreStageLayout, y: int) -> None:
         node = layout.node

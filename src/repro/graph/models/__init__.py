@@ -15,7 +15,12 @@ from repro.graph.graph import ComputationGraph
 from repro.graph.models.efficientnet import efficientnet_b0
 from repro.graph.models.mobilenet import mobilenet_v2
 from repro.graph.models.resnet import resnet18
-from repro.graph.models.simple import tiny_cnn, tiny_mlp, tiny_resnet
+from repro.graph.models.simple import (
+    tiny_cnn,
+    tiny_mlp,
+    tiny_resnet,
+    weight_stream,
+)
 from repro.graph.models.vgg import vgg19
 
 _REGISTRY: Dict[str, Callable[..., ComputationGraph]] = {
@@ -26,6 +31,7 @@ _REGISTRY: Dict[str, Callable[..., ComputationGraph]] = {
     "tiny_cnn": tiny_cnn,
     "tiny_mlp": tiny_mlp,
     "tiny_resnet": tiny_resnet,
+    "weight_stream": weight_stream,
 }
 
 #: The four DNNs of the paper's evaluation suite (Sec. IV-A).
@@ -71,6 +77,7 @@ __all__ = [
     "tiny_cnn",
     "tiny_mlp",
     "tiny_resnet",
+    "weight_stream",
     "get_model",
     "available_models",
     "PAPER_SUITE",

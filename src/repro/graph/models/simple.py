@@ -20,6 +20,26 @@ def tiny_mlp(
     return b.build()
 
 
+def weight_stream(
+    branches: int = 4,
+    in_channels: int = 1024,
+    width: int = 16,
+    kernel: int = 7,
+    seed: int = 5,
+) -> ComputationGraph:
+    """Parallel single-position convs whose row tiles exceed the CIM
+    macro-group capacity, so every branch lowers to a multipass
+    weight-streaming loop (``MEM_CPY`` from global + ``CIM_LOAD`` per
+    pass).  This is the workload class the block engine's iteration-major
+    NoC replay targets; each branch occupies its own core column slice.
+    """
+    b = GraphBuilder(f"weight_stream_{branches}x{in_channels}", seed=seed)
+    x = b.input((kernel, kernel, in_channels))
+    for i in range(branches):
+        b.output(b.conv(x, width, kernel, 1, 0, name=f"stream{i}"))
+    return b.build()
+
+
 def tiny_cnn(
     input_size: int = 8,
     channels: int = 8,

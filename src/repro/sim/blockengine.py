@@ -37,11 +37,23 @@ engine-equivalence tests enforce):
    arithmetic is associative modulo 2**32, so the batched replay is
    bit-identical to per-iteration execution.
 
+Loops whose bodies *stream from global memory* (a weight-streaming pass:
+``MEM_CPY`` from the global image, ``CIM_LOAD``, ``CIM_MVM``) batch too:
+the warm-up iterations record the body's NoC transactions through
+:attr:`repro.sim.noc.NoC.trace`, the planner cross-checks them against
+the planned global copies, and the remaining iterations are replayed
+iteration-major through :meth:`repro.sim.noc.NoC.replay_affine` -- a
+pure probe proves every touched link advances steadily, closed-form
+arithmetic commits the reservations, and the per-message float energies
+are re-added in stepped order so the accumulator stays bit-identical.
+A contention window the probe cannot prove steady refuses the batch
+(``noc_batch_contention_bailouts``) and the loop steps instead.
+
 Blocks containing ``RECV``/``BARRIER``/``HALT``, extension opcodes or
 anything else the code generator does not support simply fall back to the
-interpreter's handlers one instruction at a time; loops whose bodies touch
-global memory or the NoC (whose float accumulators and link reservations
-are order-sensitive) execute inside the generated function but are never
+interpreter's handlers one instruction at a time; loops that *write*
+global memory or send core-to-core messages (order-sensitive against
+other cores) execute inside the generated function but are never
 batched.  Engine selection is ``REPRO_SIM_ENGINE`` (``block``, the
 default, or ``interp`` for the legacy interpreter).
 """
@@ -102,15 +114,16 @@ _SUPPORTED = (
     })
 )
 
-#: Opcodes eligible for batched loop replay (a strict subset: no NoC /
-#: global-memory / macro-group-mutating / register-load operations).
+#: Opcodes eligible for batched loop replay (a strict subset: no sends,
+#: no global-memory writes, no register-load operations).
 _BATCHABLE = (
     _SCALAR2_OPS | _VEC_OPS
     | frozenset({
         int(Op.SC_ADDI), int(Op.SC_MULI), int(Op.SC_SLTI), int(Op.SC_LUI),
         int(Op.SC_ORI), int(Op.SC_ADDIW), int(Op.MV_G2S), int(Op.MV_S2G),
         int(Op.NOP), int(Op.SYNC),
-        int(Op.MEM_CPY), int(Op.MEM_GATHER), int(Op.CIM_MVM),
+        int(Op.MEM_CPY), int(Op.MEM_GATHER), int(Op.CIM_LOAD),
+        int(Op.CIM_MVM),
     })
 )
 
@@ -132,6 +145,9 @@ ENGINE_STATS = {
     "template_builds": 0,          # symbolic plan templates constructed
     "template_hits": 0,            # batch plans instantiated from a template
     "template_misfits": 0,         # guard mismatch -> concrete re-walk
+    "noc_batch_attempts": 0,       # batch attempts on NoC-touching loops
+    "noc_batch_successes": 0,      # NoC windows replayed iteration-major
+    "noc_batch_contention_bailouts": 0,  # replay refused: link not steady
 }
 
 
@@ -1004,6 +1020,49 @@ def _apply_delta(core, d: Tuple[int, ...], m: int) -> None:
     core.instructions_retired += m * d[_S_RETIRED]
 
 
+def _eager_sound(inst: BlockInstance, prev: Tuple[int, ...],
+                 delta: Tuple[int, ...]) -> bool:
+    """Whether ONE measured delta already proves steady timing.
+
+    The loop body is a max-plus system over (clock, unit-free times,
+    dependency reg-ready times).  The measured iteration is the steady
+    behaviour -- and therefore extrapolates -- iff every timing component
+    the body consults either advanced in lockstep with the clock (its
+    relative offset is unchanged, so every max resolves identically next
+    iteration) or was already in the past *before* the measured iteration
+    and did not move (it lost every max then and keeps losing as the
+    clock grows).  A component that advanced by anything else may have
+    absorbed a one-off stall that will not recur, so the usual
+    two-equal-deltas filter must arbitrate instead.
+    """
+    d_clk = delta[_S_CLK]
+    clk0 = prev[_S_CLK]
+    for i, unit in enumerate(_UNITS):
+        if unit in inst.units:
+            d = delta[_S_UF + i]
+            if d != d_clk and not (d == 0 and prev[_S_UF + i] <= clk0):
+                return False
+    for reg in inst.dep_regs:
+        d = delta[_S_RR + reg]
+        if d != d_clk and not (d == 0 and prev[_S_RR + reg] <= clk0):
+            return False
+    return True
+
+
+def _txns_affine(prev_txns, txns, d_clk: int) -> bool:
+    """Whether two consecutive iterations' NoC transaction lists match in
+    (src, dst, nbytes) with start times advancing by exactly the clock
+    step -- the empirical twin of the planner's affine model."""
+    if not txns:
+        return not prev_txns
+    if prev_txns is None or len(prev_txns) != len(txns):
+        return False
+    for (s0, d0, n0, t0), (s1, d1, n1, t1) in zip(prev_txns, txns):
+        if s0 != s1 or d0 != d1 or n0 != n1 or t1 - t0 != d_clk:
+            return False
+    return True
+
+
 def _run_loop(core, inst: BlockInstance, budget: int,
               max_instructions: int) -> int:
     """Execute one loop block to completion; returns the exit pc."""
@@ -1025,7 +1084,13 @@ def _run_loop(core, inst: BlockInstance, budget: int,
         ) // span
         return inst.exit_pc
 
-    batchable = inst.batch_ok and inst.batch_fails < _MAX_BATCH_FAILS
+    noc = core.chip.noc
+    batchable = (
+        inst.batch_ok and inst.batch_fails < _MAX_BATCH_FAILS
+        # Timeline capture needs every per-link reservation event;
+        # batching elides them, so it is disabled while recording.
+        and noc.timeline is None
+    )
     if batchable:
         # Quick trip estimate (exact when the counter steps by 1, an
         # over-estimate otherwise -- either way fine for a threshold).
@@ -1042,61 +1107,108 @@ def _run_loop(core, inst: BlockInstance, budget: int,
             )
         return stepped_exit()
 
-    prev_delta = None
-    prev = _snapshot(core)
-    done = 0
-    while True:
-        exited = fn(core, consts, 1)
-        done += 1
-        if exited:
-            return stepped_exit()
-        if done >= max_iter:
-            raise SimulationError(
-                f"core {core.core_id}: runaway execution "
-                f"(> {max_instructions} instructions without blocking)"
-            )
-        now = _snapshot(core)
-        delta = tuple(a - b for a, b in zip(now, prev))
-        if delta == prev_delta:
-            ENGINE_STATS["batch_attempts"] += 1
-            if _try_batch(core, inst, delta, max_iter - done):
-                ENGINE_STATS["batch_successes"] += 1
-                ENGINE_STATS["loop_iterations_stepped"] += done
-                ENGINE_STATS["loop_iterations_batched"] += (
-                    core.instructions_retired - retired0
-                ) // span - done
-                return inst.exit_pc
-            inst.batch_fails += 1
-            exited = fn(core, consts, max_iter - done)
-            if not exited:
+    # Record this core's NoC transactions while stepping, so a body that
+    # streams from global memory exposes its per-iteration transaction
+    # pattern to the batch planner.  The chip scheduler runs one core at
+    # a time, so the trace sees only this loop's messages.
+    outer_trace = noc.trace
+    trace: List[Tuple[int, int, int, int]] = []
+    noc.trace = trace
+    try:
+        prev_delta = None
+        prev = _snapshot(core)
+        prev_txns = None
+        tpos = 0
+        done = 0
+        while True:
+            exited = fn(core, consts, 1)
+            done += 1
+            txns = trace[tpos:]
+            tpos = len(trace)
+            if exited:
+                return stepped_exit()
+            if done >= max_iter:
                 raise SimulationError(
                     f"core {core.core_id}: runaway execution "
                     f"(> {max_instructions} instructions without blocking)"
                 )
-            return stepped_exit()
-        if done > 24:
-            # No steady state in sight; run the rest inside the JIT loop.
-            exited = fn(core, consts, max_iter - done)
-            if not exited:
-                raise SimulationError(
-                    f"core {core.core_id}: runaway execution "
-                    f"(> {max_instructions} instructions without blocking)"
-                )
-            return stepped_exit()
-        prev_delta = delta
-        prev = now
+            now = _snapshot(core)
+            delta = tuple(a - b for a, b in zip(now, prev))
+            eager = False
+            if delta == prev_delta:
+                attempt = _txns_affine(prev_txns, txns, delta[_S_CLK])
+            elif prev_delta is None and _eager_sound(inst, prev, delta):
+                # First delta, timing provably steady: attempt now.  A
+                # miss costs no batch_fails strike -- the plan
+                # cross-check arbitrates, not the two-delta filter.
+                attempt = True
+                eager = True
+            else:
+                attempt = False
+            if attempt:
+                ENGINE_STATS["batch_attempts"] += 1
+                if txns:
+                    ENGINE_STATS["noc_batch_attempts"] += 1
+                if _try_batch(core, inst, delta, max_iter - done, txns):
+                    ENGINE_STATS["batch_successes"] += 1
+                    ENGINE_STATS["loop_iterations_stepped"] += done
+                    ENGINE_STATS["loop_iterations_batched"] += (
+                        core.instructions_retired - retired0
+                    ) // span - done
+                    return inst.exit_pc
+                if not eager:
+                    inst.batch_fails += 1
+                    exited = fn(core, consts, max_iter - done)
+                    if not exited:
+                        raise SimulationError(
+                            f"core {core.core_id}: runaway execution "
+                            f"(> {max_instructions} instructions "
+                            f"without blocking)"
+                        )
+                    return stepped_exit()
+            if done > 24:
+                # No steady state in sight; run the rest in the JIT loop.
+                exited = fn(core, consts, max_iter - done)
+                if not exited:
+                    raise SimulationError(
+                        f"core {core.core_id}: runaway execution "
+                        f"(> {max_instructions} instructions "
+                        f"without blocking)"
+                    )
+                return stepped_exit()
+            prev_delta = delta
+            prev = now
+            prev_txns = txns
+    finally:
+        noc.trace = outer_trace
 
 
 class _Bail(Exception):
     """Internal: the batched replay cannot be applied; fall back."""
 
 
+def _noc_plan_ok(core, gcpys, noc_txns) -> bool:
+    """Every NoC transaction the measured iteration issued must be
+    explained by a planned global copy, in body order, with matching
+    direction and size -- otherwise the batch cannot account for the
+    loop's NoC side effects and must not apply."""
+    if len(gcpys) != len(noc_txns):
+        return False
+    cid = core.core_id
+    for op, (src, dst, nbytes, _) in zip(gcpys, noc_txns):
+        if src != GLOBAL_PORT or dst != cid or nbytes != op[3]:
+            return False
+    return True
+
+
 def _try_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
-               max_iterations: int) -> bool:
+               max_iterations: int, noc_txns) -> bool:
     """Attempt closed-form + batched replay of the remaining iterations.
 
-    Called with the core at a loop head whose last two iterations produced
-    identical state deltas.  Returns True when the loop was completed
+    Called with the core at a loop head whose measured state delta is
+    proven steady (two identical deltas, or one delta passing
+    :func:`_eager_sound`).  ``noc_txns`` is the last stepped iteration's
+    NoC transaction list.  Returns True when the loop was completed
     (state advanced past the final branch), False to fall back to the
     generated loop -- in which case no state has been mutated.
     ``max_iterations`` bounds the replayable trip count (the caller's
@@ -1135,7 +1247,35 @@ def _try_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
                 # the build-time environment; plan concretely this entry.
                 ENGINE_STATS["template_misfits"] += 1
                 plan, m = _plan_batch(core, inst, delta, max_iterations)
-        _exec_batch(core, plan, m)
+        gcpys = [op for op in plan[0] if op[0] == "gcpy"]
+        if gcpys or noc_txns:
+            if not _noc_plan_ok(core, gcpys, noc_txns):
+                raise _Bail()
+            noc = core.chip.noc
+            acct = core.chip.acct
+            energies = [
+                noc.energy_pj(nbytes, src, dst)
+                for src, dst, nbytes, _ in noc_txns
+            ]
+
+            def commit_noc():
+                # Runs between the executor's pure compute phase and its
+                # memory flush: a replay refusal here aborts the batch
+                # with no state mutated anywhere.
+                if not noc.replay_affine(noc_txns, d_clk, m):
+                    ENGINE_STATS["noc_batch_contention_bailouts"] += 1
+                    raise _Bail()
+                # The NoC energy accumulator is a float, so the closed
+                # form must repeat the per-message additions in stepped
+                # order to stay bit-identical.
+                for _ in range(m):
+                    for pj in energies:
+                        acct.noc_transfer(pj)
+
+            _exec_batch(core, plan, m, commit_noc)
+            ENGINE_STATS["noc_batch_successes"] += 1
+        else:
+            _exec_batch(core, plan, m)
     except _Bail:
         return False
     _apply_delta(core, delta, m)
@@ -1156,6 +1296,8 @@ def _plan_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
     mgs = core.mgs
     ops: List[Tuple] = []
     writes: List[Tuple[int, int, int]] = []     # (base, step, nbytes)
+    vmg_shapes: Dict[int, Tuple[int, int]] = {}  # mgs loaded inside the body
+    entry_mg_used: set = set()                   # mgs read from entry state
 
     def invariant(pair):
         v, s = pair
@@ -1226,7 +1368,16 @@ def _plan_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
                 raise _Bail()
             sb, ss = regs[rs]
             db, ds = regs[rt][0] + off, regs[rt][1]
-            ops.append(("cpy", sb, ss, n, db, ds, None))
+            if db >= GLOBAL_BASE:
+                # Global-memory writes are visible to other cores;
+                # replay order matters, so never batch them.
+                raise _Bail()
+            if sb >= GLOBAL_BASE:
+                # Weight/activation streaming: read the global image,
+                # write locally, one NoC message per iteration.
+                ops.append(("gcpy", sb, ss, n, db, ds))
+            else:
+                ops.append(("cpy", sb, ss, n, db, ds, None))
             writes.append((db, ds, n))
         elif op == int(Op.MEM_GATHER):
             count = invariant(regs[rd])
@@ -1241,14 +1392,36 @@ def _plan_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
             ops.append(("cpy", sb, ss, span, db, ds,
                         (count, chunk, stride, nb)))
             writes.append((db, ds, nb))
+        elif op == int(Op.CIM_LOAD):
+            mg = invariant(regs[rt])
+            rows = invariant(sregs[2])
+            cols = invariant(sregs[3])
+            if not 0 <= mg < len(mgs) or rows <= 0 or cols <= 0:
+                raise _Bail()
+            if mg in entry_mg_used:
+                # An earlier MVM on this mg reads the *previous*
+                # iteration's load: a loop-carried macro-group
+                # dependency the batched replay does not model.
+                raise _Bail()
+            sb, ss = regs[rs]
+            ops.append(("cimload", sb, ss, rows, cols, mg))
+            vmg_shapes[mg] = (rows, cols)
         elif op == int(Op.CIM_MVM):
             mg = invariant(regs[rt])
-            if not 0 <= mg < len(mgs) or mgs[mg] is None:
+            if not 0 <= mg < len(mgs):
                 raise _Bail()
-            _, rows, cols = mgs[mg]
+            shape = vmg_shapes.get(mg)
+            virt = shape is not None
+            if virt:
+                rows, cols = shape
+            else:
+                if mgs[mg] is None:
+                    raise _Bail()
+                _, rows, cols = mgs[mg]
+                entry_mg_used.add(mg)
             vb, vs = regs[rs]
             ob, os_ = regs[re]
-            ops.append(("mvm", vb, vs, rows, cols, ob, os_, mg, flags))
+            ops.append(("mvm", vb, vs, rows, cols, ob, os_, mg, flags, virt))
             writes.append((ob, os_, 4 * cols))
         elif op in _VEC_OPS:
             n = invariant(regs[re])
@@ -1341,10 +1514,26 @@ def _plan_batch(core, inst: BlockInstance, delta: Tuple[int, ...],
         for j in range(i + 1, len(writes)):
             if writes[i] == writes[j]:
                 continue
-            if _regions_collide(writes[i], writes[j], spans[i], spans[j], m):
+            if _writes_collide(writes[i], writes[j], spans[i], spans[j], m):
                 raise _Bail()
 
     return (ops, writes), m
+
+
+def _writes_collide(w1, w2, span1, span2, m: int) -> bool:
+    """Write-vs-write hazard between two planned regions.
+
+    Two *step-0* writes overlapping is benign even though they touch the
+    same bytes every iteration: the flush applies final rows in op order
+    (exactly the stepped outcome) and reads resolve through the same
+    newest-cover forwarding the stepped execution implies.  Every other
+    overlap is a real hazard.  Note :func:`_regions_collide` itself must
+    stay strict -- a read piece resolved from *memory* does treat a
+    step-0 overlap as loop-carried interference.
+    """
+    if w1[1] == 0 and w2[1] == 0:
+        return False
+    return _regions_collide(w1, w2, span1, span2, m)
 
 
 def _regions_collide(w1, w2, span1, span2, m: int) -> bool:
@@ -1510,10 +1699,17 @@ class _PlanTemplate:
             if tag == "cpy":
                 _, sb, ss, n, db, ds, gather = op
                 ops.append(("cpy", ev(sb), ss, n, ev(db), ds, gather))
+            elif tag == "gcpy":
+                _, sb, ss, n, db, ds = op
+                ops.append(("gcpy", ev(sb), ss, n, ev(db), ds))
+            elif tag == "cimload":
+                _, sb, ss, rows, cols, mg = op
+                ops.append(("cimload", ev(sb), ss, rows, cols, mg))
             elif tag == "mvm":
-                _, vb, vs, rows, cols, ob, os_, mg, flags = op
+                _, vb, vs, rows, cols, ob, os_, mg, flags, virt = op
                 ops.append(
-                    ("mvm", ev(vb), vs, rows, cols, ev(ob), os_, mg, flags)
+                    ("mvm", ev(vb), vs, rows, cols, ev(ob), os_, mg, flags,
+                     virt)
                 )
             elif tag == "qnt":
                 _, ab, as_, n, db, ds, qmul, qshift = op
@@ -1559,7 +1755,7 @@ class _PlanTemplate:
                 for j in range(i + 1, len(writes)):
                     if writes[i] == writes[j]:
                         continue
-                    if _regions_collide(
+                    if _writes_collide(
                         writes[i], writes[j], spans[i], spans[j], m
                     ):
                         collide = True
@@ -1638,6 +1834,8 @@ def _build_template(core, inst: BlockInstance, delta: Tuple[int, ...]):
     writes: List[Tuple[Tuple, int, int]] = []
     guards: List[Tuple[Tuple, int]] = []
     mvm_guards: List[Tuple[int, int, int]] = []
+    vmg_shapes: Dict[int, Tuple[int, int]] = {}
+    entry_mg_used: set = set()
     pure = True  # no guard bound yet -> bails are entry-independent
 
     def ev_entry(e: Tuple) -> int:
@@ -1740,7 +1938,17 @@ def _build_template(core, inst: BlockInstance, delta: Tuple[int, ...]):
                 definite_bail()
             sb, ss = regs[rs]
             db, ds = _e_shift(regs[rt][0], off), regs[rt][1]
-            ops.append(("cpy", sb, ss, n, db, ds, None))
+            if ev_entry(db) >= GLOBAL_BASE:
+                # Entry-dependent classification: other entries may keep
+                # the destination local, so never cache a definite bail.
+                raise _TemplateUnfit()
+            if ev_entry(sb) >= GLOBAL_BASE:
+                # Classified by this entry's value, unguarded: an entry
+                # that flips the source's locality fails the executor's
+                # region bounds check and falls back safely.
+                ops.append(("gcpy", sb, ss, n, db, ds))
+            else:
+                ops.append(("cpy", sb, ss, n, db, ds, None))
             writes.append((db, ds, n))
         elif op == int(Op.MEM_GATHER):
             count = bind(invariant(regs[rd]))
@@ -1755,17 +1963,36 @@ def _build_template(core, inst: BlockInstance, delta: Tuple[int, ...]):
             ops.append(("cpy", sb, ss, span, db, ds,
                         (count, chunk, stride, nb)))
             writes.append((db, ds, nb))
+        elif op == int(Op.CIM_LOAD):
+            mg = bind(invariant(regs[rt]))
+            rows = bind(invariant(sregs[2]))
+            cols = bind(invariant(sregs[3]))
+            if not 0 <= mg < len(mgs) or rows <= 0 or cols <= 0:
+                definite_bail()
+            if mg in entry_mg_used:
+                definite_bail()
+            sb, ss = regs[rs]
+            ops.append(("cimload", sb, ss, rows, cols, mg))
+            vmg_shapes[mg] = (rows, cols)
         elif op == int(Op.CIM_MVM):
             mg = bind(invariant(regs[rt]))
-            if not 0 <= mg < len(mgs) or mgs[mg] is None:
-                # Environment-dependent (another entry may have the MG
-                # loaded), so this cannot be cached as a definite bail.
-                raise _TemplateUnfit()
-            _, rows, cols = mgs[mg]
-            mvm_guards.append((mg, rows, cols))
+            if not 0 <= mg < len(mgs):
+                definite_bail()
+            shape = vmg_shapes.get(mg)
+            virt = shape is not None
+            if virt:
+                rows, cols = shape
+            else:
+                if mgs[mg] is None:
+                    # Environment-dependent (another entry may have the
+                    # MG loaded): cannot be cached as a definite bail.
+                    raise _TemplateUnfit()
+                _, rows, cols = mgs[mg]
+                mvm_guards.append((mg, rows, cols))
+                entry_mg_used.add(mg)
             vb, vs = regs[rs]
             ob, os_ = regs[re]
-            ops.append(("mvm", vb, vs, rows, cols, ob, os_, mg, flags))
+            ops.append(("mvm", vb, vs, rows, cols, ob, os_, mg, flags, virt))
             writes.append((ob, os_, 4 * cols))
         elif op in _VEC_OPS:
             n = bind(invariant(regs[re]))
@@ -1851,18 +2078,25 @@ def _build_template(core, inst: BlockInstance, delta: Tuple[int, ...]):
     )
 
 
-def _exec_batch(core, plan, m: int) -> None:
+def _exec_batch(core, plan, m: int, pre_flush=None) -> None:
     """Run the batched dataflow for ``m`` iterations and flush memory.
 
     Phase A computes every value (raising :class:`_Bail` without side
     effects when a region cannot be resolved); phase B flushes.
+    ``pre_flush``, when given, runs between the phases: it may still
+    raise :class:`_Bail` (nothing has been mutated yet) but must leave
+    no side effects behind when it does -- it is how the NoC replay
+    commits atomically with the memory flush.
     """
     ops, plan_writes = plan
     mem = core.chip.memory
     lm = mem.locals[core.core_id]
+    gm = mem.global_mem
     lsz = mem.local_size
     mgs = core.mgs
     out: List[Tuple[int, int, int, np.ndarray]] = []
+    vmgs: Dict[int, np.ndarray] = {}
+    mg_final: Dict[int, Tuple[np.ndarray, int, int]] = {}
     all_spans = [_span(b, s, l, m) for b, s, l in plan_writes]
 
     def _piece_hazard(pb, s, plen, forwarded):
@@ -1893,15 +2127,23 @@ def _exec_batch(core, plan, m: int) -> None:
             rem = l - off
             plen = rem
             chosen = None
-            for w in reversed(out):
-                wb, ws, wl, arr = w
+            chosen_idx = -1
+            for k in range(len(out) - 1, -1, -1):
+                wb, ws, wl, arr = out[k]
                 if ws == s and wb <= pb < wb + wl:
-                    chosen = w
+                    chosen = out[k]
+                    chosen_idx = k
                     plen = min(plen, wb + wl - pb)
                     break
             if chosen is None:
                 # memory piece up to the next same-step write start
                 for wb, ws, wl, arr in out:
+                    if ws == s and pb < wb < pb + plen:
+                        plen = wb - pb
+            else:
+                # a newer same-step write starting strictly inside the
+                # piece shadows the chosen cover from that point on
+                for wb, ws, wl, arr in out[chosen_idx + 1:]:
                     if ws == s and pb < wb < pb + plen:
                         plen = wb - pb
             _piece_hazard(pb, s, plen, chosen is not None)
@@ -1934,6 +2176,17 @@ def _exec_batch(core, plan, m: int) -> None:
             buf[:, off:off + plen] = arr
         return buf
 
+    # Map each op to its slot in ``plan_writes`` (cimload is the only op
+    # that plans no memory write).
+    _w_of_op: List[int] = []
+    _wi = 0
+    for _op in ops:
+        if _op[0] == "cimload":
+            _w_of_op.append(-1)
+        else:
+            _w_of_op.append(_wi)
+            _wi += 1
+
     def read_acc_init(b, l, op_index):
         """Initial int32 row for a cumsum accumulator.
 
@@ -1944,8 +2197,9 @@ def _exec_batch(core, plan, m: int) -> None:
         """
         if b < 0 or b + l > lsz:
             raise _Bail()
+        own = _w_of_op[op_index]
         for k, sp in enumerate(all_spans):
-            if k != op_index and sp[0] < b + l and b < sp[1]:
+            if k != own and sp[0] < b + l and b < sp[1]:
                 raise _Bail()
         return lm[b:b + l].copy().view(np.int32)
 
@@ -1961,17 +2215,74 @@ def _exec_batch(core, plan, m: int) -> None:
                 data = np.ascontiguousarray(data)[:, _gidx(*gather[:3])]
                 l = gather[0] * gather[1]
             out.append((db, ds, l, data))
-        elif tag == "mvm":
-            _, vb, vs, rows, cols, ob, os_, mg, flags = op
-            entry = mgs[mg]
-            if entry is None or entry[1] != rows or entry[2] != cols:
+        elif tag == "gcpy":
+            _, sb, ss, l, db, ds = op
+            lo, hi = _span(sb, ss, l, m)
+            if lo < GLOBAL_BASE or hi - GLOBAL_BASE > gm.size:
                 raise _Bail()
+            b0 = sb - GLOBAL_BASE
+            if ss == 0:
+                row = gm[b0:b0 + l].copy()
+                data = np.broadcast_to(row, (m, l))
+            elif ss > 0:
+                # zero-copy window is safe: plans never write global
+                # memory, so the view stays valid through the flush
+                data = np.lib.stride_tricks.as_strided(
+                    gm[b0:], shape=(m, l), strides=(ss, 1)
+                )
+            else:
+                idx = (
+                    b0
+                    + np.arange(m, dtype=np.int64)[:, None] * ss
+                    + np.arange(l, dtype=np.int64)[None, :]
+                )
+                data = gm[idx]
+            out.append((db, ds, l, data))
+        elif tag == "cimload":
+            _, sb, ss, rows, cols, mg = op
+            data = read(sb, ss, rows * cols)
+            # Kept int8: the MVM handler casts to int32 before its einsum
+            # accumulates, so values match the interpreter's int32 store.
+            mats = np.ascontiguousarray(data).reshape(m, rows, cols)
+            vmgs[mg] = mats
+            mg_final[mg] = (mats, rows, cols)
+        elif tag == "mvm":
+            _, vb, vs, rows, cols, ob, os_, mg, flags, virt = op
+            if virt:
+                mats = vmgs[mg]
+            else:
+                entry = mgs[mg]
+                if entry is None or entry[1] != rows or entry[2] != cols:
+                    raise _Bail()
             vec = read(vb, vs, rows)
-            res = vec.astype(np.int32) @ entry[0][:rows, :cols]
+            if virt:
+                # int32 wraparound addition is associative, so einsum's
+                # accumulation order matches sequential MVMs bit-exactly.
+                res = np.einsum(
+                    "mr,mrc->mc",
+                    vec.astype(np.int32),
+                    mats.astype(np.int32),
+                )
+            else:
+                res = vec.astype(np.int32) @ entry[0][:rows, :cols]
             if flags & 1:
-                prev = read(ob, os_, 4 * cols)
-                res = res + as_i32(prev)
-            res = np.ascontiguousarray(res)
+                if os_ == 0:
+                    # Loop-carried accumulation into one row: forward it
+                    # as a running sum when the region is untouched by
+                    # any other planned write (read() would have to
+                    # resolve a step-0 self-read, which it refuses).
+                    try:
+                        prev = read(ob, os_, 4 * cols)
+                        res = res + as_i32(prev)
+                    except _Bail:
+                        init = read_acc_init(ob, 4 * cols, op_index)
+                        res = init[None, :] + np.cumsum(
+                            res, axis=0, dtype=np.int32
+                        )
+                else:
+                    prev = read(ob, os_, 4 * cols)
+                    res = res + as_i32(prev)
+            res = np.ascontiguousarray(res.astype(np.int32))
             out.append((ob, os_, 4 * cols, res.view(np.int8)))
         elif tag == "qnt":
             _, ab, as_, n, db, ds, qmul, qshift = op
@@ -2042,7 +2353,13 @@ def _exec_batch(core, plan, m: int) -> None:
         else:  # pragma: no cover
             raise _Bail()
 
+    if pre_flush is not None:
+        pre_flush()
+
     # Phase B: flush in op order.
+    for mg, shape in mg_final.items():
+        mats, rows, cols = shape
+        mgs[mg] = (mats[-1].astype(np.int32), rows, cols)
     for b, s, l, arr in out:
         if s == 0:
             lm[b:b + l] = arr[-1]

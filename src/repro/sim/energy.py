@@ -12,8 +12,13 @@ thousands of events into one tally update (the hot-block engine of
 :mod:`repro.sim.blockengine`) produces *bit-identical* energy numbers to
 the per-instruction interpreter -- the exactness contract the simulator's
 engine equivalence tests rely on.  The only floating-point accumulators
-are the NoC per-message energies and user-extension energies, whose call
-order is identical across engines (neither is ever batched).
+are the NoC per-message energies and user-extension energies.  Extension
+energies are never batched; NoC energies *are* batched by the
+iteration-major NoC replay, but as the identical sequence of repeated
+float additions the stepped path would perform (one
+:meth:`EnergyAccountant.noc_transfer` per message per iteration), so
+the accumulated value stays bit-identical despite float addition being
+non-associative.
 """
 
 from dataclasses import dataclass, field
@@ -37,7 +42,8 @@ class EnergyAccountant:
     local_bytes_read: int = 0
     local_bytes_written: int = 0
     global_bytes: int = 0
-    # -- float accumulators (never batched; call order is engine-invariant)
+    # -- float accumulators (addition order is engine-invariant: batched
+    #    NoC replay re-issues the exact per-message addition sequence) --
     noc_pj_total: float = 0.0
     static_pj_total: float = 0.0
     extra_pj: Dict[str, float] = field(default_factory=dict)

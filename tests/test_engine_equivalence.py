@@ -171,6 +171,206 @@ class TestDifferentialFuzz:
             )
 
 
+def _run_block_stepped(programs, arch=None, image=None):
+    """Run the block engine with loop batching disabled (forced stepped)."""
+    from repro.sim import blockengine as be
+
+    old = be._MIN_BATCH
+    be._MIN_BATCH = 1 << 30
+    try:
+        sim = ChipSimulator(
+            arch or small_test_arch(),
+            programs,
+            global_image=None if image is None else image.copy(),
+            engine="block",
+        )
+        sim.report = sim.run()
+    finally:
+        be._MIN_BATCH = old
+    return sim
+
+
+#: Per-core disjoint global write-back windows for the NoC fuzzer.
+_FUZZ_WB_BASE = 4096
+_FUZZ_WB_SPAN = 512
+
+
+def _fuzz_noc_programs(seed: int):
+    """Random concurrent NoC-traffic programs, fully determined by seed.
+
+    Generates a per-core mix of the patterns the iteration-major NoC
+    replay must survive: global-memory streaming loops on adjacent cores
+    (all routes converge on the memory port, so their reservations
+    contend), write-back loops, a multicast SEND/RECV clique, CIM
+    weight-streaming bodies (``MEM_CPY`` + ``CIM_LOAD`` + ``CIM_MVM``
+    per pass, the multipass conv shape) and degenerate 1-iteration
+    loops.  Global writes land in per-core disjoint windows so the
+    functional outcome is engine-order independent by construction;
+    everything else (timing, energy, NoC counters) must still match
+    bit-for-bit.
+    """
+    rng = np.random.default_rng(20_000 + seed)
+    num_cores = 4
+    iters_menu = [1, 2, 5, 16, 33]
+
+    # Optionally reserve a multicast clique: one source SENDs to one or
+    # two receivers every iteration; receivers RECV in lockstep.
+    mc_src, mc_dsts, mc_iters, mc_bytes = None, (), 0, 0
+    if rng.random() < 0.6:
+        mc_src = int(rng.integers(num_cores))
+        others = [c for c in range(num_cores) if c != mc_src]
+        rng.shuffle(others)
+        mc_dsts = tuple(others[: int(rng.integers(1, 3))])
+        mc_iters = int(rng.choice([1, 2, 6, 12]))
+        mc_bytes = int(rng.choice([4, 16, 40]))
+
+    progs = {}
+    for cid in range(num_cores):
+        b = ProgramBuilder()
+        if cid == mc_src:
+            b.li(4, 128)                      # payload pointer (steps)
+            b.li(3, mc_bytes)
+            b.li(1, 0)
+            b.li(2, mc_iters)
+            with b.loop(1, 2):
+                for dst in mc_dsts:
+                    b.li(5, dst)
+                    b.emit("SEND", rs=4, rt=5, rd=3)
+                b.emit("SC_ADDIW", rs=4, rt=4, offset=8)
+        elif cid in mc_dsts:
+            b.li(4, 4096)                     # receive buffer (steps)
+            b.li(5, mc_src)
+            b.li(3, mc_bytes)
+            b.li(1, 0)
+            b.li(2, mc_iters)
+            with b.loop(1, 2):
+                b.emit("RECV", rs=4, rt=5, rd=3)
+                b.emit("SC_ADDIW", rs=4, rt=4, offset=8)
+        kind = rng.choice(["stream", "writeback", "cim_stream", "idle"])
+        iters = int(rng.choice(iters_menu))
+        nbytes = int(rng.choice([8, 32, 64]))
+        stride = int(rng.choice([0, nbytes, nbytes + 8]))
+        if kind == "stream":
+            # Global -> local streaming: every iteration crosses the
+            # mesh from the memory port, contending with other cores.
+            b.li(6, GLOBAL_BASE + int(rng.integers(0, 1024)))
+            b.li(7, 512)
+            b.li(3, nbytes)
+            b.li(1, 0)
+            b.li(2, iters)
+            with b.loop(1, 2):
+                b.emit("MEM_CPY", rs=6, rt=7, rd=3)
+                b.emit("SC_ADDIW", rs=6, rt=6, offset=stride)
+        elif kind == "writeback":
+            # Local -> global into this core's disjoint window.
+            b.li(6, 256)
+            b.li(7, GLOBAL_BASE + _FUZZ_WB_BASE + cid * _FUZZ_WB_SPAN)
+            b.li(3, min(nbytes, 32))
+            b.li(1, 0)
+            b.li(2, min(iters, 12))
+            with b.loop(1, 2):
+                b.emit("MEM_CPY", rs=6, rt=7, rd=3)
+                b.emit("SC_ADDIW", rs=7, rt=7, offset=32)
+        elif kind == "cim_stream":
+            # Multipass conv shape: stream a weight tile from global,
+            # load it into a CIM macro-group, multiply-accumulate.
+            rows, cols = 16, 8
+            b.li(6, GLOBAL_BASE + int(rng.integers(0, 512)))
+            b.li(7, 1024)                     # staging
+            b.li(3, rows * cols)
+            b.set_sreg(SReg.MVM_ROWS, 10, rows)
+            b.set_sreg(SReg.MVM_COLS, 10, cols)
+            b.li(8, 0)                        # vector pointer
+            b.li(9, 2048)                     # accumulator
+            b.li(11, 0)                       # mg slot
+            b.li(1, 0)
+            b.li(2, iters)
+            with b.loop(1, 2):
+                b.emit("MEM_CPY", rs=6, rt=7, rd=3)
+                b.emit("CIM_LOAD", rs=7, rt=11)
+                b.emit("CIM_MVM", rs=8, rt=11, re=9, flags=1)
+                b.emit("SC_ADDIW", rs=6, rt=6, offset=rows * cols)
+        b.halt()
+        progs[cid] = b.finalize()
+    rng_img = np.random.default_rng(30_000 + seed)
+    image = rng_img.integers(
+        -128, 128, _FUZZ_WB_BASE + num_cores * _FUZZ_WB_SPAN, dtype=np.int8
+    ).view(np.uint8)
+    return progs, image
+
+
+class TestNoCContentionFuzz:
+    """Seeded NoC-contention fuzzing across both differential axes.
+
+    Each seed generates concurrent per-core traffic (global streams
+    converging on the memory port, multicast SEND/RECV cliques, CIM
+    weight-streaming loops, degenerate 1-iteration loops) and is run
+    three ways: legacy interpreter, block engine with iteration-major
+    NoC replay, and block engine with batching forced off.  All three
+    must agree bit-for-bit on reports, register files, clocks and
+    memory images -- 100 seeds x 2 comparison axes = 200 trials.
+    """
+
+    @pytest.mark.parametrize("seed", range(100))
+    def test_contention_trial_bit_identical(self, seed):
+        progs, image = _fuzz_noc_programs(seed)
+        interp, block = _run_both(progs, image=image)
+        # Axis 1: batched block engine vs the interpreter.
+        _assert_equal_state(interp, block)
+        # Axis 2: batched vs forced-stepped block engine.
+        stepped = _run_block_stepped(progs, image=image)
+        _assert_equal_state(stepped, block)
+
+    def test_corpus_exercises_noc_replay(self):
+        """The corpus must actually drive the NoC replay machinery:
+        windows attempted, windows committed, and at least one
+        contention bailout falling back to stepped execution."""
+        from repro.sim import blockengine as be
+
+        be.reset_stats()
+        for seed in range(100):
+            progs, image = _fuzz_noc_programs(seed)
+            sim = ChipSimulator(
+                small_test_arch(), progs,
+                global_image=image.copy(), engine="block",
+            )
+            sim.run()
+        stats = be.ENGINE_STATS
+        assert stats["noc_batch_attempts"] > 0
+        assert stats["noc_batch_successes"] > 0
+        assert stats["noc_batch_contention_bailouts"] > 0
+
+
+class TestMultipassStreamEquivalence:
+    """Overlapping multipass convs on adjacent cores: the compiled
+    weight-streaming workload whose loop bodies carry global ``MEM_CPY``
+    + ``CIM_LOAD`` per pass, batched via iteration-major NoC replay."""
+
+    @pytest.mark.parametrize(
+        "branches,in_channels,width,kernel",
+        [(2, 64, 4, 4), (3, 128, 8, 3)],
+    )
+    def test_weight_stream_bit_identical(
+        self, branches, in_channels, width, kernel
+    ):
+        from repro.sim import blockengine as be
+
+        compiled = compile_model(
+            "weight_stream", small_test_arch(), "generic",
+            branches=branches, in_channels=in_channels,
+            width=width, kernel=kernel,
+        )
+        be.reset_stats()
+        a = simulate(compiled, validate=True, engine="block")
+        stats = dict(be.ENGINE_STATS)
+        assert stats["noc_batch_attempts"] >= branches
+        assert stats["noc_batch_successes"] >= branches
+        b = simulate(compiled, validate=True, engine="interp")
+        assert _report_fields(a.report) == _report_fields(b.report)
+        for name in compiled.graph.outputs:
+            assert np.array_equal(a.outputs[name], b.outputs[name])
+
+
 class TestHandWrittenPrograms:
     def test_counted_loop_batched_replay(self):
         """A long counted loop (exercises the batched NumPy replay)."""
