@@ -67,7 +67,7 @@ _PRESETS = {"default": default_arch, "small": small_test_arch}
 
 _POINT_COLUMNS = (
     "model", "strategy", "input_size", "chips", "batch", "arrival_rate",
-    "replicas", "fault_plan",
+    "replicas", "fault_plan", "resident_weights", "load_cycles",
     "mg_size", "flit_bytes", "cycles", "time_ms", "energy_mj", "tops",
     "throughput_inf_s", "energy_per_inf_mj",
     "p50_latency_ms", "p95_latency_ms", "p99_latency_ms",
@@ -78,9 +78,11 @@ _POINT_COLUMNS = (
 #: (pre-batch files lack batch/throughput/energy-per-inference,
 #: pre-serve files lack arrival-rate/latency-percentile columns,
 #: pre-fleet files lack the replicas column, pre-fault files lack the
-#: fault-plan/dropped/retries/goodput columns).
+#: fault-plan/dropped/retries/goodput columns, pre-resident files lack
+#: the resident-weights/load-cycles columns).
 _COLUMN_DEFAULTS = {"chips": 1, "batch": 1, "replicas": 1,
-                    "dropped": 0, "retries": 0}
+                    "dropped": 0, "retries": 0,
+                    "resident_weights": False, "load_cycles": 0}
 
 _BEST_METRICS = (
     "tops", "throughput_inf_s", "energy_mj", "energy_per_inf_mj", "cycles",
@@ -118,6 +120,22 @@ def _rate_list(value: str) -> List[Optional[float]]:
             raise argparse.ArgumentTypeError(
                 f"expected comma-separated rates (inf/s) or 'none', "
                 f"got {item!r}"
+            )
+    return out
+
+
+def _bool_list(value: str) -> List[bool]:
+    """Comma-separated booleans (``true``/``false``, ``1``/``0``)."""
+    out: List[bool] = []
+    for item in _split_csv(value):
+        lowered = item.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            out.append(True)
+        elif lowered in ("false", "0", "no", "off"):
+            out.append(False)
+        else:
+            raise argparse.ArgumentTypeError(
+                f"expected comma-separated booleans, got {item!r}"
             )
     return out
 
@@ -172,12 +190,14 @@ def _optional_cell(row: Dict[str, Any], key: str, fmt: str, width: int) -> str:
 
 def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
     faulted = any(row.get("fault_plan") for row in rows)
+    resident = any(row.get("resident_weights") for row in rows)
     header = (
         f"{'model':<16s}{'strat':>7s}{'in':>5s}{'chips':>6s}{'B':>4s}"
         f"{'rate/s':>9s}{'R':>3s}{'MG':>4s}{'flit':>6s}"
         f"{'cycles':>12s}{'ms':>9s}{'E mJ':>9s}{'TOPS':>8s}"
         f"{'inf/s':>11s}{'mJ/inf':>9s}{'p99 ms':>9s}"
         + (f"{'drop':>6s}{'retry':>7s}{'good/s':>11s}" if faulted else "")
+        + (f"{'res':>5s}{'load cyc':>10s}" if resident else "")
         + f"{'cache':>7s}"
     )
     lines = [header, "-" * len(header)]
@@ -187,6 +207,12 @@ def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
             fault_cells = (
                 f"{row.get('dropped', 0):>6d}{row.get('retries', 0):>7d}"
                 f"{_optional_cell(row, 'goodput_inf_s', ',.0f', 11)}"
+            )
+        resident_cells = ""
+        if resident:
+            resident_cells = (
+                f"{'yes' if row.get('resident_weights') else '-':>5s}"
+                f"{row.get('load_cycles', 0):>10,d}"
             )
         lines.append(
             f"{row['model']:<16s}{row['strategy']:>7s}{row['input_size']:>5d}"
@@ -200,6 +226,7 @@ def _format_table(rows: Sequence[Dict[str, Any]]) -> str:
             f"{_optional_cell(row, 'energy_per_inf_mj', '.2f', 9)}"
             f"{_optional_cell(row, 'p99_latency_ms', '.3f', 9)}"
             + fault_cells
+            + resident_cells
             + f"{'hit' if row.get('cached') else '-':>7s}"
         )
     return "\n".join(lines)
@@ -227,10 +254,14 @@ def _write_json(payload: Dict[str, Any], path: str) -> None:
 def _build_deployment(args, tier: str = "cyclesim"):
     from repro.serve import Deployment, _is_artifact_path
 
+    resident = getattr(args, "resident", False)
     if _is_artifact_path(args.model):
         # An artifact carries its own graph, sharding and programs; the
         # session arch is cross-checked against its fingerprint.
-        return Deployment.load(args.model, arch=_resolve_arch(args), tier=tier)
+        return Deployment.load(
+            args.model, arch=_resolve_arch(args), tier=tier,
+            resident_weights=resident,
+        )
     return Deployment(
         args.model,
         arch=_resolve_arch(args),
@@ -239,6 +270,7 @@ def _build_deployment(args, tier: str = "cyclesim"):
         tier=tier,
         input_size=args.input_size,
         num_classes=args.num_classes,
+        resident_weights=resident,
     )
 
 
@@ -395,6 +427,7 @@ def _cmd_serve(args) -> int:
             server = Fleet(
                 args.model, arch=_resolve_arch(args),
                 replicas=args.replicas, policy=args.policy, tier=args.tier,
+                resident_weights=args.resident,
             )
         else:
             server = Fleet(
@@ -402,6 +435,7 @@ def _cmd_serve(args) -> int:
                 replicas=args.replicas, policy=args.policy,
                 chips=args.chips, strategy=args.strategy, tier=args.tier,
                 input_size=args.input_size, num_classes=args.num_classes,
+                resident_weights=args.resident,
             )
     else:
         server = _build_deployment(args, tier=args.tier)
@@ -434,6 +468,7 @@ def _cmd_serve(args) -> int:
                 "chips": args.chips,
                 "replicas": args.replicas,
                 "faults": plan.fingerprint() if plan is not None else None,
+                "resident": args.resident,
                 "report": report.to_dict(),
             },
             args.json,
@@ -490,6 +525,7 @@ def _cmd_sweep(args) -> int:
         arrival_rates=tuple(args.arrival_rates),
         replica_counts=tuple(args.replicas),
         fault_plans=_fault_plans(args.fault_plans),
+        resident_modes=tuple(args.resident_modes),
     )
     cache = _build_cache(args)
     result = run_sweep(
@@ -781,6 +817,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "to replay deterministically against the fleet: "
                             "crashes, slowdowns, link degradation, "
                             "transient failures with retries/deadlines")
+    serve.add_argument("--resident", action="store_true",
+                       help="open a resident-weights session: weights load "
+                            "once per shard on the first submission, later "
+                            "inputs replay only activation traffic "
+                            "(bit-identical outputs; needs a full "
+                            "compilation, not a .artifact)")
     serve.add_argument("--tier", choices=("cyclesim", "fast"),
                        default="cyclesim",
                        help="cyclesim = exact execution + bit-exact "
@@ -837,6 +879,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-plan JSON files to sweep as an "
                             "availability axis; 'none' = fault-free "
                             "serving (the default)")
+    sweep.add_argument("--resident-modes", type=_bool_list, default=[False],
+                       metavar="B[,B...]",
+                       help="resident-weights modes to sweep "
+                            "(e.g. 'false,true'): true prices a resident "
+                            "serving session -- warm per-input replay after "
+                            "a run-once weight-load phase (default: reload "
+                            "per input)")
     sweep.add_argument("--num-classes", type=int, default=1000)
     sweep.add_argument("--closure-limit", type=_closure_limit, default=None,
                        metavar="N|model=N,...",

@@ -96,13 +96,70 @@ class ProgramGenerator:
     # -- public entry ---------------------------------------------------------
     def generate(self) -> Dict[int, Program]:
         assignments = self._assignments()
+        return self._emit_programs(assignments, skip_loads=frozenset())
+
+    def resident_cores(self) -> frozenset:
+        """Cores whose weight-load prologue is input-invariant *and* separable.
+
+        A core assigned work in more than one stage reuses its macro
+        groups, staging buffer and bias segment across stages, so its
+        loads must stay inline with the stage body; only single-stage
+        cores can hoist them into a run-once load segment.  (Multipass
+        cores stream weight tiles inside the compute body regardless --
+        for them only the bias copy is hoisted.)
+        """
+        counts: Dict[int, int] = {}
+        for (_, core) in self._assignments():
+            counts[core] = counts.get(core, 0) + 1
+        return frozenset(core for core, n in counts.items() if n == 1)
+
+    def generate_resident(self) -> Tuple[Dict[int, Program], Dict[int, Program]]:
+        """Split programs for resident-weights sessions.
+
+        Returns ``(warm, load)`` program maps.  ``load`` holds, per
+        resident core, exactly the ``_emit_loads`` prologue (weight-tile
+        ``MEM_CPY`` + ``CIM_LOAD`` passes and bias copies) followed by
+        ``HALT`` -- no barriers, since loads touch only the core's own
+        buffers and read-only global memory.  ``warm`` is structurally
+        identical to :meth:`generate` output except that resident cores
+        skip their load prologue; running ``load`` once and then ``warm``
+        on persisted core state executes the same data operations in the
+        same per-core order as the full program, which is what makes
+        resident outputs bit-identical.
+        """
+        assignments = self._assignments()
+        resident = self.resident_cores()
+        warm = self._emit_programs(assignments, skip_loads=resident)
+        loads: Dict[int, Program] = {}
+        for core_id in range(self.plan.arch.num_cores):
+            emitter = _Emitter(self.registry)
+            if core_id in resident:
+                for stage in self.plan.stages:
+                    work = assignments.get((stage.index, core_id))
+                    if work is None:
+                        continue
+                    node, mapping, replica, role = work
+                    layout = build_core_layout(
+                        self.plan, stage, node, mapping, replica, role,
+                        core_id,
+                    )
+                    self._emit_loads(emitter, layout)
+            emitter.emit("HALT")
+            loads[core_id] = emitter.builder.finalize()
+        return warm, loads
+
+    def _emit_programs(self, assignments,
+                       skip_loads: frozenset) -> Dict[int, Program]:
         programs: Dict[int, Program] = {}
         for core_id in range(self.plan.arch.num_cores):
             emitter = _Emitter(self.registry)
             for stage in self.plan.stages:
                 work = assignments.get((stage.index, core_id))
                 if work is not None:
-                    self._emit_stage(emitter, stage, core_id, *work)
+                    self._emit_stage(
+                        emitter, stage, core_id, *work,
+                        loads=core_id not in skip_loads,
+                    )
                 emitter.emit("BARRIER")
             emitter.emit("HALT")
             programs[core_id] = emitter.builder.finalize()
@@ -123,7 +180,8 @@ class ProgramGenerator:
 
     # -- stage emission ----------------------------------------------------------
     def _emit_stage(self, e: _Emitter, stage: StagePlan, core_id: int,
-                    node: CondensedNode, mapping: NodeMapping, replica, role):
+                    node: CondensedNode, mapping: NodeMapping, replica, role,
+                    loads: bool = True):
         layout = build_core_layout(
             self.plan, stage, node, mapping, replica, role, core_id
         )
@@ -133,7 +191,8 @@ class ProgramGenerator:
                 f"{node.name}: kernel {kernel} exceeds the register "
                 f"convention limit of {_MAX_KERNEL}"
             )
-        self._emit_loads(e, layout)
+        if loads:
+            self._emit_loads(e, layout)
         for buffer in layout.inputs.values():
             if buffer.needs_prefill():
                 e.fill(buffer.base, buffer.total_bytes, buffer.fill_value)

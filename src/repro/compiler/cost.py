@@ -190,6 +190,30 @@ class CostModel:
         self._node_cache[key] = estimate
         return estimate
 
+    def weight_load_energy(
+        self, geom: NodeGeometry, replicas: int
+    ) -> Dict[str, float]:
+        """The weight-load share of one node execution's energy.
+
+        The exact terms :meth:`_node_energy` charges for staging weight
+        tiles from global memory and writing them into the macro groups.
+        Resident-weights sessions pay these once per session instead of
+        once per input, so the fast model splits them out of the warm
+        per-input energy (:func:`repro.sim.fastmodel.analyze_plan_resident`).
+        """
+        if not geom.node.is_cim:
+            return {}
+        e = self.energy
+        weight_bytes = geom.tiles_total * geom.tile_rows * geom.tile_cols
+        return {
+            "global_mem": replicas * weight_bytes * e.global_mem_pj_per_byte,
+            "cim_write": replicas * weight_bytes * e.cim_write_pj_per_byte,
+            "noc": (
+                replicas * weight_bytes * _GLOBAL_HOPS
+                * e.noc_pj_per_byte_per_hop
+            ),
+        }
+
     def node_macs(self, geom: NodeGeometry) -> int:
         """MAC operations one execution of the node performs."""
         if not geom.node.is_cim:
@@ -229,12 +253,8 @@ class CostModel:
                 positions * active_rows * e.cim_peripheral_pj_per_mvm_row
             )
             # weight loading: every replica reloads the full tile set
-            weight_bytes = geom.tiles_total * geom.tile_rows * geom.tile_cols
-            cat["global_mem"] += replicas * weight_bytes * e.global_mem_pj_per_byte
-            cat["cim_write"] += replicas * weight_bytes * e.cim_write_pj_per_byte
-            cat["noc"] += (
-                replicas * weight_bytes * _GLOBAL_HOPS * e.noc_pj_per_byte_per_hop
-            )
+            for key, value in self.weight_load_energy(geom, replicas).items():
+                cat[key] += value
             # im2col patch assembly traffic (read + write scratchpad)
             patch_bytes = positions * geom.vec_rows
             cat["local_mem"] += patch_bytes * (

@@ -56,6 +56,9 @@ class CompiledModel:
     programs: Dict[int, Program]
     global_image: np.ndarray
     registry: ISARegistry = field(default_factory=default_registry)
+    _resident: Optional[Tuple[Dict[int, Program], Dict[int, Program]]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def graph(self) -> ComputationGraph:
@@ -85,6 +88,32 @@ class CompiledModel:
 
     def total_instructions(self) -> int:
         return sum(len(p) for p in self.programs.values())
+
+    def supports_resident(self) -> bool:
+        """Whether resident program segments can be generated.
+
+        Requires the full CG-level :class:`ExecutionPlan`; plans loaded
+        from a compiled artifact (:class:`repro.artifact.ArtifactPlan`)
+        keep only the lean serving surface and cannot re-run codegen.
+        """
+        return getattr(self.plan, "stages", None) is not None
+
+    def resident_segments(self) -> Tuple[Dict[int, Program], Dict[int, Program]]:
+        """``(warm, load)`` program maps for resident-weights sessions.
+
+        ``load`` executes each resident core's input-invariant weight
+        prologue once; ``warm`` is the per-input activation program.
+        Generated lazily from the plan and cached on the model.
+        """
+        if not self.supports_resident():
+            raise CompileError(
+                "resident segments need the full execution plan; "
+                "artifact-loaded models carry only the serving surface"
+            )
+        if self._resident is None:
+            generator = ProgramGenerator(self.plan, self.registry)
+            self._resident = generator.generate_resident()
+        return self._resident
 
     def summary(self) -> str:
         return (

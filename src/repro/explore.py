@@ -66,7 +66,9 @@ from repro.graph.models import get_model
 from repro.sim.fastmodel import (
     FastReport,
     analyze_plan,
+    analyze_plan_resident,
     analyze_sharded,
+    analyze_sharded_resident,
     serve_arrivals,
     serve_fleet,
     stream_batched,
@@ -119,6 +121,7 @@ class DesignPoint:
     arrival_rate: Optional[float] = None
     replicas: int = 1
     fault_plan: Optional[FaultPlan] = None
+    resident_weights: bool = False
     cached: bool = field(default=False, compare=False)
 
     @property
@@ -185,6 +188,8 @@ class DesignPoint:
                 self.fault_plan.describe()
                 if self.fault_plan is not None else None
             ),
+            "resident_weights": self.resident_weights,
+            "load_cycles": self.report.load_cycles,
             "dropped": self.report.dropped,
             "retries": self.report.retries,
             "goodput_inf_s": self.report.goodput_inf_per_s,
@@ -266,6 +271,7 @@ def evaluate_fast(
     arrival_rate: Optional[float] = None,
     replicas: int = 1,
     fault_plan: Optional[FaultPlan] = None,
+    resident_weights: bool = False,
 ) -> DesignPoint:
     """Plan and analyse one design point with the fast model.
 
@@ -284,36 +290,33 @@ def evaluate_fast(
     replicas (:func:`repro.sim.fastmodel.serve_fleet`).  ``fault_plan``
     replays a deterministic :class:`repro.faults.FaultPlan` against the
     fleet, adding dropped/retry counts and goodput to the report.
+    ``resident_weights`` prices a resident-weights serving session
+    (:class:`repro.serve.Deployment` with ``resident_weights=True``):
+    every input replays the *warm* per-shard analysis (hoistable weight
+    loads removed), the session pays the run-once load phase before the
+    first release, and the hoisted load energy is charged exactly once
+    rather than per input.
     """
     if batch < 1:
         raise ConfigError(f"batch must be >= 1, got {batch}")
     if replicas < 1:
         raise ConfigError(f"replicas must be >= 1, got {replicas}")
     arch = arch or default_arch()
-    graph = _cached_graph(model, input_size, num_classes)
-    if chips > 1:
-        sharding = shard_graph(graph, chips)
-        plans = [
-            plan_graph(shard.graph, arch, strategy, closure_limit)
-            for shard in sharding.shards
-        ]
-        report = analyze_sharded(sharding, plans, arch)
-        plan = plans[0]
-    else:
-        plan = plan_graph(graph, arch, strategy, closure_limit)
-        report = analyze_plan(plan)
-    if arrival_rate is not None or replicas > 1 or fault_plan is not None:
-        releases = (
-            _rate_releases(arch, arrival_rate, batch)
-            if arrival_rate is not None else [0] * batch
-        )
-        report = serve_fleet(
-            report, releases, arch.interchip, replicas,
-            arrival_rate_inf_s=arrival_rate,
-            faults=fault_plan,
-        )
-    elif batch > 1:
-        report = stream_batched(report, batch)
+    pspec = PointSpec(
+        model=model,
+        strategy=strategy,
+        input_size=input_size,
+        num_classes=num_classes,
+        closure_limit=closure_limit,
+        chips=chips,
+        batch=batch,
+        arrival_rate=arrival_rate,
+        replicas=replicas,
+        fault_plan=fault_plan,
+        resident_weights=resident_weights,
+    )
+    report, load_done, load_energy, plan = _analyze_base(pspec, arch)
+    report = _derive_report(pspec, arch, (report, load_done, load_energy))
     return DesignPoint(
         model=model,
         strategy=strategy,
@@ -328,6 +331,7 @@ def evaluate_fast(
         arrival_rate=arrival_rate,
         replicas=replicas,
         fault_plan=fault_plan,
+        resident_weights=resident_weights,
     )
 
 
@@ -355,6 +359,7 @@ class PointSpec:
     arrival_rate: Optional[float] = None
     replicas: int = 1
     fault_plan: Optional[FaultPlan] = None
+    resident_weights: bool = False
 
     def resolve_arch(self, base: ArchConfig) -> ArchConfig:
         arch = base
@@ -380,6 +385,7 @@ class PointSpec:
                 self.fault_plan.fingerprint()
                 if self.fault_plan is not None else None
             ),
+            resident=self.resident_weights,
         )
 
 
@@ -400,7 +406,11 @@ class SweepSpec:
     trade-offs); ``fault_plans`` is the availability axis (``(None,)``
     by default: fault-free serving; a :class:`repro.faults.FaultPlan`
     entry replays that deterministic fault schedule against the fleet,
-    pricing capacity under failures).  ``closure_limit`` bounds the DP
+    pricing capacity under failures); ``resident_modes`` is the
+    resident-weights axis (``(False,)`` by default: every input re-pays
+    its weight loads; a ``True`` entry prices a resident serving
+    session -- warm per-input replay after a run-once load phase, load
+    energy charged once per session).  ``closure_limit`` bounds the DP
     partitioner's closure
     enumeration and may be given per model (Fig. 7 caps EfficientNetB0
     at 64 to keep the sweep tractable).
@@ -419,13 +429,15 @@ class SweepSpec:
     arrival_rates: Tuple[Optional[float], ...] = (None,)
     replica_counts: Tuple[int, ...] = (1,)
     fault_plans: Tuple[Optional[FaultPlan], ...] = (None,)
+    resident_modes: Tuple[bool, ...] = (False,)
 
     def __post_init__(self):
         # Normalise iterables handed in as lists/generators to tuples so
         # the spec stays hashable and its cross product is re-iterable.
         for name in ("models", "strategies", "mg_sizes", "flit_sizes",
                      "input_sizes", "chip_counts", "batch_sizes",
-                     "arrival_rates", "replica_counts", "fault_plans"):
+                     "arrival_rates", "replica_counts", "fault_plans",
+                     "resident_modes"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -463,6 +475,13 @@ class SweepSpec:
                 "fault plans must be FaultPlan instances "
                 "(None = fault-free)"
             )
+        if not self.resident_modes or any(
+            not isinstance(m, bool) for m in self.resident_modes
+        ):
+            raise ConfigError(
+                "resident modes must be booleans "
+                "(False = reload weights per input)"
+            )
 
     def arch(self) -> ArchConfig:
         return self.base_arch or default_arch()
@@ -476,42 +495,47 @@ class SweepSpec:
         """The cross product, in deterministic order.
 
         Order (outer to inner): model, strategy, input size, chip count,
-        batch size, arrival rate, replica count, fault plan, flit width,
-        MG size -- matching the row order of the paper's figure tables
-        (the serving axes ride between the software and hardware axes).
+        batch size, arrival rate, replica count, fault plan, resident
+        mode, flit width, MG size -- matching the row order of the
+        paper's figure tables (the serving axes ride between the
+        software and hardware axes).
         """
         mg_axis: Tuple[Optional[int], ...] = self.mg_sizes or (None,)
         flit_axis: Tuple[Optional[int], ...] = self.flit_sizes or (None,)
         out: List[PointSpec] = []
+        serving_axes = [
+            (batch, rate, replicas, plan, resident)
+            for batch in self.batch_sizes
+            for rate in self.arrival_rates
+            for replicas in self.replica_counts
+            for plan in self.fault_plans
+            for resident in self.resident_modes
+        ]
         for model in self.models:
             for strategy in self.strategies:
                 for input_size in self.input_sizes:
                     for chips in self.chip_counts:
-                        for batch in self.batch_sizes:
-                            for rate in self.arrival_rates:
-                                for replicas in self.replica_counts:
-                                    for plan in self.fault_plans:
-                                        for flit in flit_axis:
-                                            for mg in mg_axis:
-                                                out.append(PointSpec(
-                                                    model=model,
-                                                    strategy=strategy,
-                                                    input_size=input_size,
-                                                    num_classes=(
-                                                        self.num_classes
-                                                    ),
-                                                    mg_size=mg,
-                                                    flit_bytes=flit,
-                                                    closure_limit=(
-                                                        self.limit_for(
-                                                            model)
-                                                    ),
-                                                    chips=chips,
-                                                    batch=batch,
-                                                    arrival_rate=rate,
-                                                    replicas=replicas,
-                                                    fault_plan=plan,
-                                                ))
+                        for batch, rate, replicas, plan, resident in (
+                                serving_axes):
+                            for flit in flit_axis:
+                                for mg in mg_axis:
+                                    out.append(PointSpec(
+                                        model=model,
+                                        strategy=strategy,
+                                        input_size=input_size,
+                                        num_classes=self.num_classes,
+                                        mg_size=mg,
+                                        flit_bytes=flit,
+                                        closure_limit=(
+                                            self.limit_for(model)
+                                        ),
+                                        chips=chips,
+                                        batch=batch,
+                                        arrival_rate=rate,
+                                        replicas=replicas,
+                                        fault_plan=plan,
+                                        resident_weights=resident,
+                                    ))
         return out
 
     def __len__(self) -> int:
@@ -519,7 +543,7 @@ class SweepSpec:
             len(self.models) * len(self.strategies) * len(self.input_sizes)
             * len(self.chip_counts) * len(self.batch_sizes)
             * len(self.arrival_rates) * len(self.replica_counts)
-            * len(self.fault_plans)
+            * len(self.fault_plans) * len(self.resident_modes)
             * len(self.mg_sizes or (None,)) * len(self.flit_sizes or (None,))
         )
 
@@ -544,6 +568,7 @@ class SweepSpec:
                 p.to_dict() if p is not None else None
                 for p in self.fault_plans
             ],
+            "resident_modes": list(self.resident_modes),
             "arch_fingerprint": arch_fingerprint(self.arch()),
             "num_points": len(self),
         }
@@ -642,10 +667,74 @@ class SweepResult:
         }
 
 
-def _derive_report(
-    pspec: PointSpec, base_arch: ArchConfig, report: FastReport
+#: Batch-independent analysis of one point: the (possibly warm) base
+#: report, the run-once load phase and its energy (zero / empty for
+#: non-resident points).  This is what the sweep memo and the pool
+#: workers ship around; the execution plan never travels with it.
+_BaseBundle = Tuple[FastReport, int, Dict[str, float]]
+
+
+def _analyze_base(
+    pspec: PointSpec, base_arch: ArchConfig
+) -> Tuple[FastReport, int, Dict[str, float], Optional[ExecutionPlan]]:
+    """Plan and analyse a point's batch-independent coordinates.
+
+    Returns ``(report, load_cycles, load_energy_pj, plan)``: for
+    resident points the report is the *warm* per-input analysis
+    (hoistable weight loads removed) and the load fields carry the
+    run-once load phase; otherwise the plain analysis with zero load.
+    ``plan`` is the (first shard's) execution plan for inspection.
+    """
+    arch = pspec.resolve_arch(base_arch)
+    graph = _cached_graph(pspec.model, pspec.input_size, pspec.num_classes)
+    if pspec.chips > 1:
+        sharding = shard_graph(graph, pspec.chips)
+        plans = [
+            plan_graph(shard.graph, arch, pspec.strategy,
+                       pspec.closure_limit)
+            for shard in sharding.shards
+        ]
+        if pspec.resident_weights:
+            report, load_done, load_energy = analyze_sharded_resident(
+                sharding, plans, arch
+            )
+            return report, load_done, load_energy, plans[0]
+        return analyze_sharded(sharding, plans, arch), 0, {}, plans[0]
+    plan = plan_graph(graph, arch, pspec.strategy, pspec.closure_limit)
+    if pspec.resident_weights:
+        report, load_done, load_energy = analyze_plan_resident(plan)
+        return report, load_done, load_energy, plan
+    return analyze_plan(plan), 0, {}, plan
+
+
+def _charge_session_load(
+    report: FastReport,
+    load_done: int,
+    load_energy: Dict[str, float],
+    extra_cycles: int,
 ) -> FastReport:
-    """Closed-form serving/batch continuation of a base (batch=1) report.
+    """Fold a resident session's run-once load phase into a report.
+
+    The hoisted load energy is paid exactly once per session (it does
+    not scale with the batch); ``extra_cycles`` extends the makespan for
+    continuations that never saw the load-clamped releases (plain batch
+    streaming and single-shot points).
+    """
+    energy = dict(report.energy_breakdown_pj)
+    for key, value in load_energy.items():
+        energy[key] = energy.get(key, 0.0) + value
+    return replace(
+        report,
+        cycles=report.cycles + extra_cycles,
+        energy_breakdown_pj=energy,
+        load_cycles=load_done,
+    )
+
+
+def _derive_report(
+    pspec: PointSpec, base_arch: ArchConfig, bundle: _BaseBundle
+) -> FastReport:
+    """Closed-form serving/batch continuation of a base (batch=1) bundle.
 
     Arrival-rate points go through the serving queueing law
     (:func:`repro.sim.fastmodel.serve_arrivals`, fixed-rate releases);
@@ -657,7 +746,14 @@ def _derive_report(
     bit-identical to evaluating the point from scratch, which is what
     lets one base analysis serve a whole batch x rate x replicas x
     faults sub-grid.
+
+    Resident points continue the *warm* base report: serving releases
+    clamp to the load phase (the session loads before the first input
+    enters the pipeline, so latency percentiles measure warm service),
+    non-serving continuations extend the makespan by the load phase,
+    and the hoisted load energy lands exactly once either way.
     """
+    report, load_done, load_energy = bundle
     if (pspec.arrival_rate is not None or pspec.replicas > 1
             or pspec.fault_plan is not None):
         arch = pspec.resolve_arch(base_arch)
@@ -665,18 +761,33 @@ def _derive_report(
             _rate_releases(arch, pspec.arrival_rate, pspec.batch)
             if pspec.arrival_rate is not None else [0] * pspec.batch
         )
-        return serve_fleet(
+        if pspec.resident_weights:
+            releases = [max(r, load_done) for r in releases]
+        derived = serve_fleet(
             report, releases, arch.interchip, pspec.replicas,
             arrival_rate_inf_s=pspec.arrival_rate,
             faults=pspec.fault_plan,
         )
-    if pspec.batch > 1:
-        return stream_batched(report, pspec.batch)
-    return report
+        extra_cycles = 0
+    elif pspec.batch > 1:
+        derived = stream_batched(report, pspec.batch)
+        extra_cycles = load_done
+    else:
+        derived = report
+        extra_cycles = load_done
+    if pspec.resident_weights:
+        derived = _charge_session_load(
+            derived, load_done, load_energy, extra_cycles
+        )
+    return derived
 
 
 def _base_spec(pspec: PointSpec) -> PointSpec:
-    """The batch-independent, arrival-free, fault-free coordinates."""
+    """The batch-independent, arrival-free, fault-free coordinates.
+
+    ``resident_weights`` survives: it changes the base analysis itself
+    (warm report + load split), not just the continuation.
+    """
     return replace(
         pspec, batch=1, arrival_rate=None, replicas=1, fault_plan=None
     )
@@ -685,7 +796,7 @@ def _base_spec(pspec: PointSpec) -> PointSpec:
 def _evaluate_spec(
     pspec: PointSpec,
     base_arch: ArchConfig,
-    memo: Optional[Dict[str, FastReport]] = None,
+    memo: Optional[Dict[str, _BaseBundle]] = None,
 ) -> DesignPoint:
     """Evaluate one point; shared by the serial path and pool workers.
 
@@ -703,32 +814,25 @@ def _evaluate_spec(
         _base_spec(pspec).cache_key(base_arch)
         if memo is not None else None
     )
-    report = memo.get(base_key) if memo is not None else None
-    if report is None:
-        point = evaluate_fast(
-            pspec.model,
-            pspec.resolve_arch(base_arch),
-            pspec.strategy,
-            pspec.input_size,
-            pspec.num_classes,
-            pspec.closure_limit,
-            pspec.chips,
-        )
-        report = point.report
+    bundle = memo.get(base_key) if memo is not None else None
+    if bundle is None:
+        report, load_done, load_energy, _ = _analyze_base(pspec, base_arch)
+        bundle = (report, load_done, load_energy)
         if memo is not None:
-            memo[base_key] = report
+            memo[base_key] = bundle
     return _point_from_report(
-        pspec, base_arch, _derive_report(pspec, base_arch, report),
+        pspec, base_arch, _derive_report(pspec, base_arch, bundle),
         cached=False,
     )
 
 
 def _worker_evaluate(
     args: Tuple[int, PointSpec, ArchConfig]
-) -> Tuple[int, DesignPoint]:
+) -> Tuple[int, _BaseBundle]:
     """Top-level pool entry point (must be importable for pickling)."""
     index, pspec, base_arch = args
-    return index, _evaluate_spec(pspec, base_arch)
+    report, load_done, load_energy, _ = _analyze_base(pspec, base_arch)
+    return index, (report, load_done, load_energy)
 
 
 def estimate_point_cost(pspec: PointSpec) -> float:
@@ -766,6 +870,7 @@ def _point_from_report(pspec: PointSpec, base: ArchConfig,
         arrival_rate=pspec.arrival_rate,
         replicas=pspec.replicas,
         fault_plan=pspec.fault_plan,
+        resident_weights=pspec.resident_weights,
         cached=cached,
     )
 
@@ -869,13 +974,14 @@ def run_sweep(
                         pspec.fault_plan.fingerprint()
                         if pspec.fault_plan is not None else None
                     ),
+                    "resident": pspec.resident_weights,
                 },
             )
             journal(keys[index])
         finish(index, point)
 
     if stats.workers <= 1 or len(pending) <= 1:
-        memo: Dict[str, FastReport] = {}
+        memo: Dict[str, _BaseBundle] = {}
         for index, pspec in pending:
             record(index, pspec, _evaluate_spec(pspec, base, memo))
     else:
@@ -904,10 +1010,10 @@ def run_sweep(
         )
         with ProcessPoolExecutor(max_workers=stats.workers) as pool:
             jobs = [(job, base_specs[key], base) for job, key in enumerate(ordered)]
-            for job, base_point in pool.map(_worker_evaluate, jobs):
+            for job, bundle in pool.map(_worker_evaluate, jobs):
                 for index in groups[ordered[job]]:
                     pspec = by_index[index]
-                    report = _derive_report(pspec, base, base_point.report)
+                    report = _derive_report(pspec, base, bundle)
                     record(
                         index, pspec,
                         _point_from_report(pspec, base, report, False),

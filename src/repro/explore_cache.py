@@ -44,7 +44,9 @@ logger = logging.getLogger(__name__)
 #: v5: replicated serving fleets -- keys carry the replica count.
 #: v6: fault-tolerant serving -- keys carry the fault-plan fingerprint
 #: and reports carry dropped/retry counts.
-CACHE_SCHEMA_VERSION = 6
+#: v7: resident-weights serving sessions -- keys carry the resident
+#: flag and reports carry the run-once load phase (``load_cycles``).
+CACHE_SCHEMA_VERSION = 7
 
 #: Environment variable overriding the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -90,15 +92,17 @@ def point_key(
     arrival_rate: Optional[float] = None,
     replicas: int = 1,
     fault_fingerprint: Optional[str] = None,
+    resident: bool = False,
 ) -> str:
     """Content address (hex SHA-256) of one design point.
 
     Everything that can change the fast-model report participates in the
     key -- including the multi-chip shard count, the streaming batch
-    size, the continuous-arrival rate, the fleet replica count and the
-    fault-plan fingerprint; the architecture contributes through its own
-    content fingerprint so structurally identical :class:`ArchConfig`
-    instances collide (which is exactly what we want).
+    size, the continuous-arrival rate, the fleet replica count, the
+    fault-plan fingerprint and the resident-weights flag; the
+    architecture contributes through its own content fingerprint so
+    structurally identical :class:`ArchConfig` instances collide (which
+    is exactly what we want).
     """
     material = json.dumps(
         {
@@ -114,6 +118,7 @@ def point_key(
             "arrival_rate": arrival_rate,
             "replicas": replicas,
             "faults": fault_fingerprint,
+            "resident": resident,
         },
         sort_keys=True,
         separators=(",", ":"),

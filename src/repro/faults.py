@@ -541,6 +541,7 @@ class AttemptRecord:
     dispatch_cycle: int
     finish_cycle: int  #: completion cycle, or the crash cycle if killed
     status: str  #: "completed" | "transient" | "crashed" | "late"
+    start_cycle: int = 0  #: shard-0 service-entry cycle of this attempt
 
     @property
     def full_service(self) -> bool:
@@ -571,11 +572,16 @@ class _FaultyReplicaState:
         link: InterChipConfig,
         plan: FaultPlan,
         replica: int,
+        load_offset: int = 0,
     ):
         self.row = list(row)
         self.edges = list(edges)
         self.link = link
         self.replica = replica
+        #: Resident-weights sessions: a cold replica cannot start service
+        #: before its weight-load phase completes; every dispatch onto it
+        #: is clamped to this cycle (0 = warm / non-resident, identity).
+        self.load_offset = int(load_offset)
         self.crash = plan.crash_cycle(replica)
         self.service_time, self.link_time = plan.schedule_hooks(
             replica, link
@@ -691,6 +697,7 @@ def run_fault_schedule(
     policy: str = "rr",
     plan: Optional[FaultPlan] = None,
     retry: Optional[RetryPolicy] = None,
+    load_offsets: Optional[Sequence[int]] = None,
 ) -> FaultSchedule:
     """Run the health-aware dispatch + retry engine over one stream.
 
@@ -703,6 +710,15 @@ def run_fault_schedule(
     live replica with the fewest predicted in-flight attempts.  Events
     are processed in ``(ready_cycle, request, attempt)`` order, so the
     outcome is a pure function of the inputs.
+
+    ``load_offsets[r]`` (resident-weights sessions) delays replica
+    ``r``'s first service entry to its weight-load completion cycle:
+    dispatches onto it are clamped to the offset, and the clamped cycle
+    is what :class:`AttemptRecord.dispatch_cycle` records -- so
+    replaying the records through the plain streaming recurrence still
+    reproduces the engine's finishes exactly.  ``None`` (or all zeros)
+    is the identity and keeps the schedule bit-identical to the
+    non-resident engine.
     """
     plan = plan if plan is not None else FaultPlan()
     policy_retry = retry if retry is not None else plan.retry
@@ -710,8 +726,17 @@ def run_fault_schedule(
     batch = len(releases)
     deadline = rp.per_request_deadline_cycles
 
+    if load_offsets is None:
+        load_offsets = [0] * replicas
+    elif len(load_offsets) != replicas:
+        raise SimulationError(
+            f"load_offsets has {len(load_offsets)} entries for "
+            f"{replicas} replicas"
+        )
     states = [
-        _FaultyReplicaState(row, edges, link, plan, r)
+        _FaultyReplicaState(
+            row, edges, link, plan, r, load_offset=load_offsets[r]
+        )
         for r in range(replicas)
     ]
     assignments = [-1] * batch
@@ -749,11 +774,13 @@ def run_fault_schedule(
             rr_cursor += 1
         state = states[choice]
         attempt_counts[request] = attempt
-        _, finish = state.admit(ready)
+        dispatch = max(ready, state.load_offset)
+        start, finish = state.admit(dispatch)
 
         if state.crash is not None and finish > state.crash:
             record = AttemptRecord(
-                request, attempt, choice, ready, state.crash, "crashed"
+                request, attempt, choice, dispatch, state.crash, "crashed",
+                start_cycle=start,
             )
             attempts.append(record)
             replica_attempts[choice].append(record)
@@ -771,7 +798,8 @@ def run_fault_schedule(
         makespan = max(makespan, finish)
         if plan.attempt_fails(request, attempt):
             record = AttemptRecord(
-                request, attempt, choice, ready, finish, "transient"
+                request, attempt, choice, dispatch, finish, "transient",
+                start_cycle=start,
             )
             attempts.append(record)
             replica_attempts[choice].append(record)
@@ -787,7 +815,8 @@ def run_fault_schedule(
 
         if deadline is not None and finish > release + deadline:
             record = AttemptRecord(
-                request, attempt, choice, ready, finish, "late"
+                request, attempt, choice, dispatch, finish, "late",
+                start_cycle=start,
             )
             attempts.append(record)
             replica_attempts[choice].append(record)
@@ -795,7 +824,8 @@ def run_fault_schedule(
             continue
 
         record = AttemptRecord(
-            request, attempt, choice, ready, finish, "completed"
+            request, attempt, choice, dispatch, finish, "completed",
+            start_cycle=start,
         )
         attempts.append(record)
         replica_attempts[choice].append(record)

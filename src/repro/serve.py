@@ -244,6 +244,13 @@ class ServeReport:
         default=None, repr=False
     )
     golden: Optional[Dict[str, np.ndarray]] = field(default=None, repr=False)
+    #: Resident-weights session bookkeeping.  ``load_cycles`` is the
+    #: weight-load phase THIS submission paid (0 on a warm submission);
+    #: ``load_energy_pj`` its run-once energy, already included in
+    #: ``energy_breakdown_pj``.
+    resident: bool = False
+    load_cycles: int = 0
+    load_energy_pj: Dict[str, float] = field(default_factory=dict)
 
     # -- derived cycle series ----------------------------------------------
     @property
@@ -330,7 +337,7 @@ class ServeReport:
     def to_dict(self) -> Dict:
         from repro.config import arch_fingerprint
 
-        return {
+        payload = {
             "arch_fingerprint": arch_fingerprint(self.arch),
             "tier": self.tier,
             "batch": int(self.batch),
@@ -363,6 +370,15 @@ class ServeReport:
                 k: float(v) for k, v in self.energy_breakdown_pj.items()
             },
         }
+        # Only resident sessions carry the load-amortization block, so a
+        # non-resident report serializes byte-identically to before.
+        if self.resident:
+            payload["resident"] = True
+            payload["load_cycles"] = int(self.load_cycles)
+            payload["load_energy_pj"] = {
+                k: float(v) for k, v in self.load_energy_pj.items()
+            }
+        return payload
 
     def __str__(self) -> str:
         lines = [
@@ -390,6 +406,14 @@ class ServeReport:
             f"energy            : {self.total_energy_mj:.4f} mJ "
             f"({self.energy_per_inference_mj:.4f} mJ/inference)"
         )
+        if self.resident:
+            lines.append(
+                f"resident load     : {self.load_cycles:,} cycles"
+                + (
+                    " (paid this submission)"
+                    if self.load_cycles else " (session warm)"
+                )
+            )
         lines.append("shard utilization :")
         for k, util in enumerate(self.shard_utilization):
             lines.append(f"  chip {k}: {100 * util:5.1f}%")
@@ -430,6 +454,20 @@ class Deployment:
     validation; ``"fast"`` prices the identical queueing schedule from
     the analytical model (no functional outputs) and never code-
     generates, so it scales to paper-sized models.
+
+    ``resident_weights=True`` opens a *resident session*: the compiler's
+    input-invariant weight-load prologue becomes a separable program
+    segment that the session executes once (the first submission pays
+    it; the load phase completes on every shard before the first input
+    enters the pipeline), and every input -- including all of the first
+    submission's -- replays only activation traffic.  The steady-state
+    law stays exact with the load folded in front::
+
+        makespan(B) = load + warm_makespan(1) + (B - 1) * warm_bottleneck
+
+    Outputs are bit-identical to the non-resident path in both fidelity
+    tiers.  Artifact-loaded models cannot open resident sessions (the
+    artifact stores only the serving surface, not the execution plan).
     """
 
     def __init__(
@@ -442,6 +480,7 @@ class Deployment:
         engine: Optional[str] = None,
         tier: str = "cyclesim",
         closure_limit: Optional[int] = None,
+        resident_weights: bool = False,
         **model_kwargs,
     ):
         if tier not in ("cyclesim", "fast"):
@@ -506,6 +545,35 @@ class Deployment:
                 else:
                     self._plans = [self.compiled.plan]
 
+        self.resident_weights = bool(resident_weights)
+        #: Accounting flag: has this serving session already paid the
+        #: weight-load phase?  A :class:`Fleet` toggles it per replica.
+        self._resident_loaded = False
+        self._resident_sim = None  #: cyclesim persistent simulator state
+        self._resident_load_reports = None  #: measured load segments
+        self._resident_fast = None  #: fast tier (warm, load, energy) cache
+        if self.resident_weights:
+            self._check_resident_support()
+
+    def _check_resident_support(self) -> None:
+        if self.tier == "cyclesim":
+            shards = (
+                self.compiled.chips
+                if isinstance(self.compiled, MultiChipModel)
+                else [self.compiled]
+            )
+            if all(c.supports_resident() for c in shards):
+                return
+        elif all(
+            getattr(plan, "stages", None) is not None for plan in self._plans
+        ):
+            return
+        raise ConfigError(
+            "resident_weights needs the full execution plan; artifact-"
+            "loaded models carry only the serving surface.  Recompile "
+            "from source to open a resident session."
+        )
+
     @classmethod
     def load(
         cls,
@@ -514,6 +582,7 @@ class Deployment:
         *,
         tier: str = "cyclesim",
         engine: Optional[str] = None,
+        resident_weights: bool = False,
     ) -> "Deployment":
         """Open a deployment from a saved ``.artifact`` file.
 
@@ -529,7 +598,10 @@ class Deployment:
             from repro.workflow import _resolve_arch
 
             arch = _resolve_arch(arch)
-        return cls(load_artifact(path, arch=arch), tier=tier, engine=engine)
+        return cls(
+            load_artifact(path, arch=arch), tier=tier, engine=engine,
+            resident_weights=resident_weights,
+        )
 
     # -- introspection ------------------------------------------------------
     @property
@@ -741,7 +813,17 @@ class Deployment:
         input_tensor = graph.input_operators[0].output
         batch = len(inputs)
 
-        if isinstance(self.compiled, MultiChipModel):
+        if self.resident_weights:
+            per_input_reports, per_input_outputs = self._resident_execute(
+                inputs
+            )
+            rows = [[r.cycles for r in reports] for reports in per_input_reports]
+            interchip_per_input = (
+                self.compiled.interchip_bytes()
+                if isinstance(self.compiled, MultiChipModel) else 0
+            )
+            label = f"resident session, serve {batch}"
+        elif isinstance(self.compiled, MultiChipModel):
             sim = MultiChipSimulator(self.compiled, engine=self.engine)
             per_input_reports, per_input_outputs = sim.execute_stream(
                 inputs, input_tensor
@@ -763,7 +845,20 @@ class Deployment:
             interchip_per_input = 0
             label = f"{self.compiled.plan.strategy}, serve {batch}"
 
-        schedule = streaming_schedule(rows, edges, link, releases)
+        # Resident cold start: the load phase completes on every shard
+        # before the first input enters the pipeline, so the schedule sees
+        # releases clamped to the load-done cycle -- which is exactly what
+        # keeps makespan(B) = load + warm_makespan(1) + (B-1)*bottleneck.
+        load_done, load_energy, load_macs, load_instr = 0, {}, 0, 0
+        if self.resident_weights and not self._resident_loaded:
+            load_done, load_energy, load_macs, load_instr = (
+                self._resident_load_profile()
+            )
+        sched_releases = (
+            [max(r, load_done) for r in releases] if load_done
+            else list(releases)
+        )
+        schedule = streaming_schedule(rows, edges, link, sched_releases)
         starts, _, input_finishes, makespan = schedule
         stream_report = assemble_stream_report(
             self.arch, per_input_reports, edges, schedule, interchip_per_input
@@ -783,7 +878,10 @@ class Deployment:
                     golden = expected
             validated = True
 
-        return ServeReport(
+        energy = dict(stream_report.energy_breakdown_pj)
+        for key, value in load_energy.items():
+            energy[key] = energy.get(key, 0.0) + value
+        report = ServeReport(
             arch=self.arch,
             tier="cyclesim",
             batch=batch,
@@ -795,17 +893,125 @@ class Deployment:
             steady_interval_cycles=stream_report.steady_interval_cycles,
             shard_cycles=[r.cycles for r in per_input_reports[0]],
             shard_utilization=_shard_utilization(rows, makespan),
-            energy_breakdown_pj=stream_report.energy_breakdown_pj,
-            macs=stream_report.macs,
-            instructions=stream_report.instructions,
+            energy_breakdown_pj=energy,
+            macs=stream_report.macs + load_macs,
+            instructions=stream_report.instructions + load_instr,
             validated=validated,
             stream_report=stream_report,
             per_input_outputs=list(per_input_outputs),
             golden=golden,
+            resident=self.resident_weights,
+            load_cycles=load_done,
+            load_energy_pj=load_energy,
         )
+        if self.resident_weights:
+            self._resident_loaded = True
+        return report
+
+    # -- resident-weights session ------------------------------------------
+    def _resident_execute(self, inputs: Sequence[np.ndarray]):
+        """Cyclesim functional half of a resident-session submission.
+
+        The first call runs every shard's separable load segment on
+        fresh chips and keeps the simulator (loaded macro groups and
+        constant bands persist for the whole session); every input --
+        on this and every later call -- replays only the warm
+        activation program against that state.
+        """
+        from repro.sim.blockengine import ENGINE_STATS
+
+        graph = self.graph
+        input_tensor = graph.input_operators[0].output
+        if isinstance(self.compiled, MultiChipModel):
+            if self._resident_sim is None:
+                sim = MultiChipSimulator(self.compiled, engine=self.engine)
+                self._resident_load_reports = sim.load_resident()
+                self._resident_sim = sim
+            return self._resident_sim.execute_warm_stream(
+                inputs, input_tensor
+            )
+
+        from repro.sim.chip import ChipSimulator
+
+        if self._resident_sim is None:
+            warm, load = self.compiled.resident_segments()
+            sim = ChipSimulator.from_compiled(self.compiled, engine=self.engine)
+            sim.reset_run(load)
+            self._resident_load_reports = [sim.run()]
+            ENGINE_STATS["resident_load_runs"] += 1
+            self._resident_sim = (sim, warm)
+        sim, warm = self._resident_sim
+        per_input_reports = []
+        per_input_outputs = []
+        for data in inputs:
+            sim.reset_run(warm)
+            ENGINE_STATS["resident_warm_runs"] += 1
+            sim.memory.write_global(
+                self.compiled.input_address(input_tensor),
+                np.asarray(data, np.int8),
+            )
+            report = sim.run()
+            outputs: Dict[str, np.ndarray] = {}
+            for name in graph.outputs:
+                resolved = self.compiled.plan.cgraph.resolve(name)
+                info = graph.tensor(name)
+                raw = sim.memory.read_global(
+                    self.compiled.plan.tensor_address[resolved],
+                    info.size_bytes,
+                )
+                outputs[name] = raw.reshape(info.shape)
+            per_input_reports.append([report])
+            per_input_outputs.append(outputs)
+        return per_input_reports, per_input_outputs
+
+    def _resident_load_profile(self):
+        """This session's load price: ``(cycles, energy, macs, instrs)``.
+
+        ``cycles`` is the session load phase (shards load in parallel,
+        so it is the max over shards).  The cyclesim tier measures the
+        actual load segments -- running them now if no submission has
+        yet -- and the fast tier reads the closed-form mirror.
+        """
+        if self.tier == "fast":
+            _, load_done, load_energy = self._resident_fast_profile()
+            return load_done, dict(load_energy), 0, 0
+        if self._resident_load_reports is None:
+            self._resident_execute([])
+        reports = self._resident_load_reports
+        load_energy: Dict[str, float] = {}
+        for rep in reports:
+            for key, value in rep.energy_breakdown_pj.items():
+                load_energy[key] = load_energy.get(key, 0.0) + value
+        return (
+            max((r.cycles for r in reports), default=0),
+            load_energy,
+            sum(r.macs for r in reports),
+            sum(r.instructions for r in reports),
+        )
+
+    def _resident_fast_profile(self):
+        """Fast tier: (per-shard warm reports, load phase, load energy)."""
+        if self._resident_fast is None:
+            from repro.sim.fastmodel import analyze_plan_resident
+
+            warm_reports = []
+            load_done = 0
+            load_energy: Dict[str, float] = {}
+            for plan in self._plans:
+                warm, load, energy = analyze_plan_resident(plan)
+                warm_reports.append(warm)
+                load_done = max(load_done, load)
+                for key, value in energy.items():
+                    load_energy[key] = load_energy.get(key, 0.0) + value
+            self._resident_fast = (warm_reports, load_done, load_energy)
+        return self._resident_fast
 
     # -- fast tier ----------------------------------------------------------
     def _fast_shard_reports(self):
+        if self.resident_weights:
+            # Resident sessions price every input from the warm (load-
+            # free) analysis; the load phase is accounted separately.
+            return self._resident_fast_profile()[0]
         if self._fast_reports is None:
             from repro.sim.fastmodel import analyze_plan
 
@@ -827,8 +1033,15 @@ class Deployment:
         row = [r.cycles for r in shard_reports]
         batch = len(releases)
         rows = [list(row) for _ in range(batch)]
+        load_done, load_energy = 0, {}
+        if self.resident_weights and not self._resident_loaded:
+            load_done, load_energy = self._resident_fast_profile()[1:]
+        sched_releases = (
+            [max(r, load_done) for r in releases] if load_done
+            else list(releases)
+        )
         starts, finishes, input_finishes, makespan = streaming_schedule(
-            rows, edges, link, releases
+            rows, edges, link, sched_releases
         )
         interchip_total = sum(nbytes for _, _, nbytes in edges)
         per_input = merge_shard_energy(
@@ -836,7 +1049,9 @@ class Deployment:
             interchip_total, link,
         )
         energy = {k: v * batch for k, v in per_input.items()}
-        return ServeReport(
+        for key, value in load_energy.items():
+            energy[key] = energy.get(key, 0.0) + value
+        report = ServeReport(
             arch=self.arch,
             tier="fast",
             batch=batch,
@@ -851,7 +1066,13 @@ class Deployment:
             energy_breakdown_pj=energy,
             macs=sum(r.macs for r in shard_reports) * batch,
             instructions=0,
+            resident=self.resident_weights,
+            load_cycles=load_done,
+            load_energy_pj=dict(load_energy),
         )
+        if self.resident_weights:
+            self._resident_loaded = True
+        return report
 
 
 # ---------------------------------------------------------------------------
@@ -962,6 +1183,16 @@ class FleetReport:
     attempt_counts: List[int] = field(default_factory=list)
     retries: int = 0
     replica_downtime: List[List[Dict]] = field(default_factory=list)
+    #: Fault-injected submissions: per-replica busy cycles measured from
+    #: the actually-executed attempt windows (crash-killed attempts count
+    #: the cycles they ran before dying).  Empty on fault-free
+    #: submissions, where every served input is one full service row.
+    replica_busy_cycles: List[int] = field(default_factory=list)
+    #: Resident-weights sessions: ``replica_load_cycles[r]`` is the
+    #: weight-load phase replica ``r`` paid in THIS submission (0 when it
+    #: was already warm or received no work).
+    resident: bool = False
+    replica_load_cycles: List[int] = field(default_factory=list)
 
     # -- availability --------------------------------------------------------
     @property
@@ -1009,19 +1240,28 @@ class FleetReport:
             if i not in dropped
         ]
 
-    def latency_percentile_cycles(self, pct: float) -> int:
-        return latency_percentile(self.latency_cycles, pct)
+    def latency_percentile_cycles(self, pct: float) -> Optional[int]:
+        """Nearest-rank percentile over *completed* requests.
+
+        ``None`` when nothing completed: an all-dropped fleet has no
+        latency distribution, and reporting "0 cycles" would read as a
+        perfect one.
+        """
+        latencies = self.latency_cycles
+        if not latencies:
+            return None
+        return latency_percentile(latencies, pct)
 
     @property
-    def p50_latency_cycles(self) -> int:
+    def p50_latency_cycles(self) -> Optional[int]:
         return self.latency_percentile_cycles(50)
 
     @property
-    def p95_latency_cycles(self) -> int:
+    def p95_latency_cycles(self) -> Optional[int]:
         return self.latency_percentile_cycles(95)
 
     @property
-    def p99_latency_cycles(self) -> int:
+    def p99_latency_cycles(self) -> Optional[int]:
         return self.latency_percentile_cycles(99)
 
     @property
@@ -1031,28 +1271,37 @@ class FleetReport:
     def _ms(self, cycles: int) -> float:
         return cycles * self.cycle_ns / 1e6
 
+    def _optional_ms(self, cycles: Optional[int]) -> Optional[float]:
+        return None if cycles is None else self._ms(cycles)
+
     @property
     def makespan_ms(self) -> float:
         return self._ms(self.makespan_cycles)
 
     @property
-    def p50_latency_ms(self) -> float:
-        return self._ms(self.p50_latency_cycles)
+    def p50_latency_ms(self) -> Optional[float]:
+        return self._optional_ms(self.p50_latency_cycles)
 
     @property
-    def p95_latency_ms(self) -> float:
-        return self._ms(self.p95_latency_cycles)
+    def p95_latency_ms(self) -> Optional[float]:
+        return self._optional_ms(self.p95_latency_cycles)
 
     @property
-    def p99_latency_ms(self) -> float:
-        return self._ms(self.p99_latency_cycles)
+    def p99_latency_ms(self) -> Optional[float]:
+        return self._optional_ms(self.p99_latency_cycles)
 
     @property
     def throughput_inf_per_s(self) -> float:
-        """Sustained fleet rate actually achieved over the makespan."""
-        if self.batch == 0 or self.makespan_cycles <= 0:
+        """Sustained fleet rate actually achieved over the makespan.
+
+        Counts *completed* requests only: a fault plan that drops work
+        must not inflate the rate with inferences that never finished.
+        Fault-free submissions have ``completed == batch``, so this is
+        the classic definition there.
+        """
+        if self.completed == 0 or self.makespan_cycles <= 0:
             return 0.0
-        return self.batch / (self.makespan_cycles * self.cycle_ns / 1e9)
+        return self.completed / (self.makespan_cycles * self.cycle_ns / 1e9)
 
     @property
     def saturation_inf_per_s(self) -> float:
@@ -1069,13 +1318,26 @@ class FleetReport:
 
     @property
     def replica_utilization(self) -> List[float]:
-        """Mean shard busy fraction of the fleet makespan, per replica."""
+        """Mean shard busy fraction of the fleet makespan, per replica.
+
+        Fault-free submissions use the exact closed form (every served
+        input occupies each shard for its service row).  When the
+        failover engine ran, busy cycles come from the recorded attempt
+        windows instead (``replica_busy_cycles``): a full-service
+        attempt charges one service row, and a crash-killed attempt
+        charges the cycles it actually ran before dying -- counted once
+        across the pipeline, an approximation that neither drops the
+        partial work (the old bug) nor invents a phantom full row.
+        """
         out = []
-        for report in self.replica_reports:
+        for r, report in enumerate(self.replica_reports):
             if self.makespan_cycles <= 0 or report.num_shards == 0:
                 out.append(0.0)
                 continue
-            busy = report.batch * sum(report.shard_cycles)
+            if self.replica_busy_cycles:
+                busy = self.replica_busy_cycles[r]
+            else:
+                busy = report.batch * sum(report.shard_cycles)
             out.append(busy / (report.num_shards * self.makespan_cycles))
         return out
 
@@ -1089,12 +1351,19 @@ class FleetReport:
 
     @property
     def energy_per_inference_mj(self) -> float:
-        return self.total_energy_mj / max(1, self.batch)
+        """Energy amortized over *completed* inferences (0 when none).
+
+        A fault plan that drops requests must not dilute the per-
+        inference cost over work that never finished.
+        """
+        if self.completed == 0:
+            return 0.0
+        return self.total_energy_mj / self.completed
 
     def to_dict(self) -> Dict:
         from repro.config import arch_fingerprint
 
-        return {
+        payload = {
             "arch_fingerprint": arch_fingerprint(self.arch),
             "tier": self.tier,
             "policy": self.policy,
@@ -1146,7 +1415,25 @@ class FleetReport:
             "replica_downtime": [
                 list(windows) for windows in self.replica_downtime
             ],
+            "replica_busy_cycles": [
+                int(c) for c in self.replica_busy_cycles
+            ],
         }
+        if self.resident:
+            payload["resident"] = True
+            payload["replica_load_cycles"] = [
+                int(c) for c in self.replica_load_cycles
+            ]
+        return payload
+
+    def _latency_line(self, pct: int) -> str:
+        cycles = self.latency_percentile_cycles(pct)
+        if cycles is None:
+            return f"latency p{pct}       : n/a (0 completed)"
+        return (
+            f"latency p{pct}       : {cycles:,} cycles "
+            f"({self._ms(cycles):.3f} ms)"
+        )
 
     def __str__(self) -> str:
         lines = [
@@ -1157,15 +1444,18 @@ class FleetReport:
             f"({self.makespan_ms:.3f} ms)",
             f"sustained rate    : {self.throughput_inf_per_s:,.0f} inf/s "
             f"(fleet saturation {self.saturation_inf_per_s:,.0f} inf/s)",
-            f"latency p50       : {self.p50_latency_cycles:,} cycles "
-            f"({self.p50_latency_ms:.3f} ms)",
-            f"latency p95       : {self.p95_latency_cycles:,} cycles "
-            f"({self.p95_latency_ms:.3f} ms)",
-            f"latency p99       : {self.p99_latency_cycles:,} cycles "
-            f"({self.p99_latency_ms:.3f} ms)",
+            self._latency_line(50),
+            self._latency_line(95),
+            self._latency_line(99),
             f"energy            : {self.total_energy_mj:.4f} mJ "
             f"({self.energy_per_inference_mj:.4f} mJ/inference)",
         ]
+        if self.resident:
+            paid = ", ".join(
+                f"r{r}={c:,}"
+                for r, c in enumerate(self.replica_load_cycles)
+            ) or "none"
+            lines.append(f"resident load     : {paid} cycles")
         if self.attempt_counts:
             lines.append(
                 f"conservation      : {self.submitted} submitted = "
@@ -1238,6 +1528,7 @@ class Fleet:
         engine: Optional[str] = None,
         tier: str = "cyclesim",
         closure_limit: Optional[int] = None,
+        resident_weights: bool = False,
         **model_kwargs,
     ):
         if replicas < 1:
@@ -1259,14 +1550,22 @@ class Fleet:
                     "pass Fleet(artifact_path) with no compile keywords"
                 )
             self.deployment = Deployment.load(
-                model, arch, tier=tier, engine=engine
+                model, arch, tier=tier, engine=engine,
+                resident_weights=resident_weights,
             )
         else:
             self.deployment = Deployment(
                 model, arch, chips=chips, strategy=strategy, engine=engine,
-                tier=tier, closure_limit=closure_limit, **model_kwargs,
+                tier=tier, closure_limit=closure_limit,
+                resident_weights=resident_weights, **model_kwargs,
             )
         self._profile = None
+        #: Resident sessions: which replicas hold loaded weights.  All
+        #: replicas share one compile product and (cyclesim) one loaded
+        #: simulator state -- identical by determinism -- but each pays
+        #: its own load phase, and a crash invalidates the crashed
+        #: replica's entry so failover re-pays the load.
+        self._replica_warm = [False] * self.num_replicas
 
     # -- introspection ------------------------------------------------------
     @property
@@ -1305,7 +1604,14 @@ class Fleet:
             if dep.tier == "fast":
                 row = [r.cycles for r in dep._fast_shard_reports()]
             else:
+                # The probe must not consume the session's cold start: a
+                # resident deployment restores its accounting flag so the
+                # first real submission still pays the load phase.  (The
+                # probe's shard_cycles are the warm row -- exactly the
+                # per-input service profile a resident fleet schedules.)
+                loaded = dep._resident_loaded
                 probe = dep.submit(batch=1, validate=False)
+                dep._resident_loaded = loaded
                 row = list(probe.shard_cycles)
             self._profile = (row, edges)
         return self._profile
@@ -1374,10 +1680,14 @@ class Fleet:
             )
 
         if self.num_replicas == 1:
+            if self.deployment.resident_weights:
+                self.deployment._resident_loaded = self._replica_warm[0]
             report = self.deployment.submit(
                 inputs, batch=batch, arrivals=arrivals, seed=seed,
                 validate=validate,
             )
+            if self.deployment.resident_weights and report.batch:
+                self._replica_warm[0] = True
             return self._merge([report], [0] * report.batch, report.releases)
 
         if isinstance(arrivals, TraceArrivals) and batch == 1:
@@ -1410,12 +1720,18 @@ class Fleet:
             sub_inputs = (
                 [resolved[i] for i in index] if resolved is not None else None
             )
+            if self.deployment.resident_weights:
+                # Each replica tracks its own warmth; the shared
+                # deployment's accounting flag is set per sub-stream.
+                self.deployment._resident_loaded = self._replica_warm[replica]
             reports.append(
                 self.deployment.submit(
                     sub_inputs, batch=1, arrivals=sub_arrivals, seed=seed,
                     validate=validate,
                 )
             )
+            if self.deployment.resident_weights and reports[-1].batch:
+                self._replica_warm[replica] = True
         return self._merge(reports, assignments, releases, arrivals)
 
     def run_trace(
@@ -1496,10 +1812,48 @@ class Fleet:
         link = self.arch.interchip
         row, edges = self._service_profile()
         releases = arrivals.release_cycles(batch, self.arch.chip.cycle_ns)
+        load_done, load_energy, load_macs, load_instr = 0, {}, 0, 0
+        offsets = None
+        if dep.resident_weights:
+            load_done, load_energy, load_macs, load_instr = (
+                dep._resident_load_profile()
+            )
+            offsets = [
+                0 if self._replica_warm[r] else load_done
+                for r in range(self.num_replicas)
+            ]
         schedule = run_fault_schedule(
             releases, row, edges, link, self.num_replicas, self.policy,
-            plan, rp,
+            plan, rp, load_offsets=offsets,
         )
+        # Which replicas paid their weight-load phase in this submission
+        # (cold + received work); crashes then invalidate resident
+        # weights, so failback re-pays the load next time.
+        cold_paid = [
+            dep.resident_weights
+            and not self._replica_warm[r]
+            and bool(schedule.replica_attempts[r])
+            for r in range(self.num_replicas)
+        ]
+        if dep.resident_weights:
+            for r in range(self.num_replicas):
+                if plan.crash_cycle(r) is not None:
+                    self._replica_warm[r] = False
+                elif cold_paid[r]:
+                    self._replica_warm[r] = True
+
+        # Busy cycles from the actually-executed attempt windows: full-
+        # service attempts charge one service row, crash-killed attempts
+        # the cycles they ran before dying (counted once).
+        busy_cycles = []
+        for r in range(self.num_replicas):
+            busy = 0
+            for a in schedule.replica_attempts[r]:
+                if a.full_service:
+                    busy += sum(row)
+                else:
+                    busy += max(0, a.finish_cycle - a.start_cycle)
+            busy_cycles.append(busy)
 
         validated = False
         if dep.tier == "cyclesim":
@@ -1527,6 +1881,10 @@ class Fleet:
                 self._faulted_replica_report(
                     r, schedule, row, edges, link, plan, req_reports,
                     interchip_per_input, validated,
+                    load_extra=(
+                        (load_done, load_energy, load_macs, load_instr)
+                        if cold_paid[r] else None
+                    ),
                 )
             )
 
@@ -1556,6 +1914,15 @@ class Fleet:
             drop_reasons=dict(schedule.drop_reasons),
             attempt_counts=list(schedule.attempt_counts),
             retries=schedule.retries,
+            replica_busy_cycles=busy_cycles,
+            resident=dep.resident_weights,
+            replica_load_cycles=(
+                [
+                    load_done if cold_paid[r] else 0
+                    for r in range(self.num_replicas)
+                ]
+                if dep.resident_weights else []
+            ),
             **fault_fields,
         )
 
@@ -1575,7 +1942,20 @@ class Fleet:
         })
         req_reports: Dict[int, list] = {}
         req_outputs: Dict[int, Dict] = {}
-        if isinstance(dep.compiled, MultiChipModel):
+        if dep.resident_weights:
+            # Resident sessions execute surviving requests warm (load-
+            # free); outputs stay bit-identical to isolated full runs.
+            per_reports, per_outputs = dep._resident_execute(
+                [resolved[i] for i in wanted]
+            )
+            for j, i in enumerate(wanted):
+                req_reports[i] = per_reports[j]
+                req_outputs[i] = per_outputs[j]
+            interchip_per_input = (
+                dep.compiled.interchip_bytes()
+                if isinstance(dep.compiled, MultiChipModel) else 0
+            )
+        elif isinstance(dep.compiled, MultiChipModel):
             sim = MultiChipSimulator(dep.compiled, engine=dep.engine)
             for i in wanted:
                 reports, outputs = sim.execute_stream(
@@ -1596,7 +1976,7 @@ class Fleet:
 
     def _faulted_replica_report(
         self, replica, schedule, row, edges, link, plan, req_reports,
-        interchip_per_input, validated,
+        interchip_per_input, validated, load_extra=None,
     ) -> ServeReport:
         """One replica's ServeReport under the fault plan.
 
@@ -1604,12 +1984,26 @@ class Fleet:
         hooked streaming recurrence and asserts the replay reproduces
         the engine's finish cycles (cycle-exact contract); energy/MACs
         charge one full per-inference cost per full-service attempt.
+        ``load_extra`` (resident sessions; ``(cycles, energy, macs,
+        instructions)``) adds the weight-load phase a cold replica paid
+        before its first attempt.
         """
         dep = self.deployment
         records = schedule.replica_attempts[replica]
         full = [a for a in records if a.full_service]
         if not full:
-            return dep._empty_report(TraceArrivals([]))
+            report = dep._empty_report(TraceArrivals([]))
+            if load_extra is not None:
+                # The replica loaded its weights but every attempt was
+                # crash-killed: the load cost is still real.
+                ld, le, lm, li = load_extra
+                report.energy_breakdown_pj = dict(le)
+                report.macs = lm
+                report.instructions = li
+                report.resident = True
+                report.load_cycles = ld
+                report.load_energy_pj = dict(le)
+            return report
 
         service_time, link_time = plan.schedule_hooks(replica, link)
         starts, _, input_fin, _ = streaming_schedule(
@@ -1650,6 +2044,16 @@ class Fleet:
             instructions = 0
             validated = False
 
+        load_cycles = 0
+        load_energy: Dict[str, float] = {}
+        if load_extra is not None:
+            load_cycles, load_energy, load_macs, load_instr = load_extra
+            energy = dict(energy)
+            for key, value in load_energy.items():
+                energy[key] = energy.get(key, 0.0) + value
+            macs += load_macs
+            instructions += load_instr
+
         return ServeReport(
             arch=self.arch,
             tier=dep.tier,
@@ -1671,6 +2075,9 @@ class Fleet:
             macs=macs,
             instructions=instructions,
             validated=validated,
+            resident=dep.resident_weights,
+            load_cycles=load_cycles,
+            load_energy_pj=load_energy,
         )
 
     def _merge(
@@ -1686,6 +2093,12 @@ class Fleet:
         for i, replica in enumerate(assignments):
             finishes[i] = reports[replica].input_finishes[cursor[replica]]
             cursor[replica] += 1
+        if self.deployment.resident_weights and "resident" not in fault_fields:
+            fault_fields = dict(fault_fields)
+            fault_fields["resident"] = True
+            fault_fields["replica_load_cycles"] = [
+                r.load_cycles for r in reports
+            ]
         energy: Dict[str, float] = {}
         for report in reports:
             for key, value in report.energy_breakdown_pj.items():

@@ -148,6 +148,8 @@ ENGINE_STATS = {
     "noc_batch_attempts": 0,       # batch attempts on NoC-touching loops
     "noc_batch_successes": 0,      # NoC windows replayed iteration-major
     "noc_batch_contention_bailouts": 0,  # replay refused: link not steady
+    "resident_load_runs": 0,       # per-shard weight-load segments executed
+    "resident_warm_runs": 0,       # per-shard warm (load-free) input replays
 }
 
 

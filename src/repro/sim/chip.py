@@ -108,6 +108,33 @@ class ChipSimulator:
                     core.program, self.registry
                 )
 
+    def reset_run(self, programs: Dict[int, Program]) -> None:
+        """Rearm for another run, keeping memory + macro-group state.
+
+        Resident-weights sessions call this between the load segment and
+        each warm input: global/local memory contents and every core's
+        loaded macro groups persist, while all timing state (core
+        clocks, unit scoreboards), the NoC, message channels and the
+        energy ledger start fresh -- each run is accounted exactly like
+        an isolated run of ``programs`` against the persisted state.
+        """
+        self.noc = NoC(self.arch)
+        self.acct = EnergyAccountant(self.arch.energy)
+        self.channels = {}
+        self._recv_waiters = {}
+        self._ready = []
+        for core in self.cores:
+            core.reset_for_program(
+                programs.get(core.core_id, _empty_program(self.registry))
+            )
+        if self.engine == "block":
+            from repro.sim.blockengine import block_program_for
+
+            for core in self.cores:
+                core._blockprog = block_program_for(
+                    core.program, self.registry
+                )
+
     @classmethod
     def from_compiled(cls, compiled, **kwargs) -> "ChipSimulator":
         """Build a simulator for a :class:`CompiledModel`."""

@@ -118,6 +118,32 @@ class Core:
         self._glb_lat = glb.access_latency
         self._dispatch = _build_dispatch()
 
+    def reset_for_program(self, program: Program) -> None:
+        """Rebind to a new program, keeping macro groups + local memory.
+
+        Resident-weights runs call this between program segments: the
+        weight state loaded into ``self.mgs`` (and everything in the
+        memory system) persists, while architectural registers, the
+        timing scoreboard and the pipeline state restart exactly as a
+        fresh core would -- so a warm run is indistinguishable from an
+        isolated run of the warm program against the persisted state.
+        """
+        self.program = program
+        self._blockprog = None
+        self.code = translate_program(program, self.registry)
+        self.pc = 0
+        self.clock = 0
+        self.regs = [0] * 32
+        self.sregs = [0] * 16
+        self.sregs[int(SReg.CORE_ID)] = self.core_id
+        self.sregs[int(SReg.NUM_CORES)] = self.arch.chip.num_cores
+        self.reg_ready = [0] * 32
+        self.unit_free = {u: 0 for u in _UNITS}
+        self.busy = {u: 0 for u in _UNITS}
+        self.state = RUNNING
+        self.instructions_retired = 0
+        self._pending_recv = None
+
     # -- helpers ----------------------------------------------------------
     def _write_reg(self, index: int, value: int, ready: int) -> None:
         if index != 0:

@@ -74,6 +74,7 @@ class FastReport:
     p99_latency_cycles: int = 0
     dropped: int = 0
     retries: int = 0
+    load_cycles: int = 0
 
     @property
     def time_ms(self) -> float:
@@ -149,6 +150,10 @@ class FastReport:
         if self.dropped or self.retries:
             payload["dropped"] = int(self.dropped)
             payload["retries"] = int(self.retries)
+        # Same conditional contract for the resident-weights field: a
+        # non-resident report serializes byte-identically to pre-v7 form.
+        if self.load_cycles:
+            payload["load_cycles"] = int(self.load_cycles)
         return payload
 
     @classmethod
@@ -176,6 +181,7 @@ class FastReport:
             p99_latency_cycles=int(data.get("p99_latency_cycles", 0)),
             dropped=int(data.get("dropped", 0)),
             retries=int(data.get("retries", 0)),
+            load_cycles=int(data.get("load_cycles", 0)),
         )
 
     def grouped_energy_mj(self) -> Dict[str, float]:
@@ -187,13 +193,82 @@ class FastReport:
         return group_energy_mj(self.energy_breakdown_pj)
 
 
+def resident_plan_replicas(plan: ExecutionPlan) -> Dict[str, frozenset]:
+    """Per-node replica indices whose weight loads a resident session hoists.
+
+    The fast-tier mirror of the compiler's per-core separability rule
+    (:meth:`repro.compiler.codegen.lowering.ProgramGenerator.resident_cores`):
+    a replica's loads are hoistable when every core it occupies is
+    assigned work in exactly one stage (multi-stage cores reuse their
+    macro groups and staging buffers across stages, so their loads stay
+    inline) and the node is not weight-streaming (multipass nodes
+    re-stream tiles inside the compute body on every input; only their
+    tiny bias copy is hoisted, which the row-granular model does not
+    price separately).  Replica granularity matters: a node spanning
+    both single- and multi-stage cores gets exactly its single-stage
+    replicas' loads hoisted, matching the per-core program split.
+    """
+    stage_sets: Dict[int, set] = {}
+    for stage in plan.stages:
+        for node in stage.nodes:
+            for replica in stage.mappings[node.name].replicas:
+                for core in replica.cores:
+                    stage_sets.setdefault(core, set()).add(stage.index)
+    resident: Dict[str, frozenset] = {}
+    for stage in plan.stages:
+        for node in stage.nodes:
+            geom = plan.geometries[node.name]
+            if not node.is_cim or geom.multipass:
+                continue
+            hoistable = frozenset(
+                index
+                for index, replica in enumerate(
+                    stage.mappings[node.name].replicas
+                )
+                if all(len(stage_sets[core]) == 1 for core in replica.cores)
+            )
+            if hoistable:
+                resident[node.name] = hoistable
+    return resident
+
+
 def analyze_plan(
     plan: ExecutionPlan, cost_model: Optional[CostModel] = None
 ) -> FastReport:
     """Row-granular pipeline analysis of a compiled execution plan."""
+    report, _, _ = _analyze_plan_impl(plan, cost_model, resident=False)
+    return report
+
+
+def analyze_plan_resident(
+    plan: ExecutionPlan, cost_model: Optional[CostModel] = None
+) -> Tuple[FastReport, int, Dict[str, float]]:
+    """Resident-weights split of :func:`analyze_plan`.
+
+    Returns ``(warm_report, load_cycles, load_energy_pj)``: the warm
+    report prices one input with every hoistable replica's weight load
+    removed (cycles and energy), ``load_cycles`` is the run-once load
+    phase (hoisted loads execute concurrently across cores, so the phase
+    is their max), and ``load_energy_pj`` the hoisted weight-load energy
+    plus the load phase's own static draw.  The hoisted dynamic terms
+    recompose the non-resident node energies exactly; static energy
+    scales with each phase's own makespan, mirroring how the cycle tier
+    accounts the load run and each warm run separately.
+    """
+    return _analyze_plan_impl(plan, cost_model, resident=True)
+
+
+def _analyze_plan_impl(
+    plan: ExecutionPlan,
+    cost_model: Optional[CostModel],
+    resident: bool,
+) -> Tuple[FastReport, int, Dict[str, float]]:
     cm = cost_model or CostModel(plan.arch)
     clock = plan.arch.chip.clock_mhz
+    resident_replicas = resident_plan_replicas(plan) if resident else {}
     energy: Dict[str, float] = {}
+    load_energy: Dict[str, float] = {}
+    load_phase = 0
     macs = 0
     stage_cycles: Dict[int, int] = {}
     time_cursor = 0
@@ -215,9 +290,14 @@ def analyze_plan(
             write_global = stage.spill[node.name]
             row_cost = cm.row_cycles(geom, read_global, write_global, consumers)
             load = cm.load_cycles(geom)
+            hoisted_replicas = resident_replicas.get(node.name, frozenset())
+            if hoisted_replicas and load:
+                load_phase = max(load_phase, load)
             node_ready = np.zeros(geom.out_h, dtype=np.int64)
-            for replica in mapping.replicas:
-                t = time_cursor + load
+            for replica_index, replica in enumerate(mapping.replicas):
+                t = time_cursor + (
+                    0 if replica_index in hoisted_replicas else load
+                )
                 for y in range(*replica.rows):
                     dep = t
                     for spec in node.inputs:
@@ -238,8 +318,17 @@ def analyze_plan(
                 write_global=write_global,
                 same_stage_consumers=consumers,
             )
+            hoisted: Dict[str, float] = {}
+            if hoisted_replicas:
+                hoisted = cm.weight_load_energy(
+                    geom, min(len(hoisted_replicas), estimate.replicas)
+                )
+                for key, value in hoisted.items():
+                    load_energy[key] = load_energy.get(key, 0.0) + value
             for key, value in estimate.energy_categories.items():
-                energy[key] = energy.get(key, 0.0) + value
+                energy[key] = (
+                    energy.get(key, 0.0) + value - hoisted.get(key, 0.0)
+                )
             macs += cm.node_macs(geom)
         stage_cycles[stage.index] = stage_end - time_cursor
         time_cursor = stage_end + 100  # barrier + stage turnaround
@@ -248,14 +337,21 @@ def analyze_plan(
         energy.get("static", 0.0)
         + time_cursor * plan.arch.energy.static_pj_per_cycle(clock)
     )
-    return FastReport(
+    if load_phase:
+        load_energy["static"] = (
+            load_energy.get("static", 0.0)
+            + load_phase * plan.arch.energy.static_pj_per_cycle(clock)
+        )
+    report = FastReport(
         cycles=time_cursor,
         energy_breakdown_pj=energy,
         macs=macs,
         clock_mhz=clock,
         stage_cycles=stage_cycles,
         shard_cycles=[time_cursor],
+        load_cycles=load_phase,
     )
+    return report, load_phase, load_energy
 
 
 def stream_batched(report: FastReport, batch: int) -> FastReport:
@@ -524,14 +620,48 @@ def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
     energy/MACs), so the batch axis never re-runs the per-shard
     analysis.
     """
+    arch = arch or plans[0].arch
+    reports = [analyze_plan(plan) for plan in plans]
+    base = _compose_shards(sharding, reports, arch)
+    return stream_batched(base, batch) if batch > 1 else base
+
+
+def analyze_sharded_resident(
+    sharding, plans, arch=None
+) -> Tuple[FastReport, int, Dict[str, float]]:
+    """Resident-weights split of :func:`analyze_sharded`.
+
+    Mirrors :func:`analyze_plan_resident` across a sharded pipeline:
+    every shard is analysed warm (hoistable loads removed), the chips
+    are composed with the same pipeline/link schedule, and the session
+    pays one load phase before the first input enters the pipeline --
+    the load completes on *every* shard first, so the phase is the max
+    across shards while the hoisted load energy sums across them.
+    """
+    arch = arch or plans[0].arch
+    split = [analyze_plan_resident(plan) for plan in plans]
+    load_done = max(load for _, load, _ in split)
+    load_energy: Dict[str, float] = {}
+    for _, _, shard_load in split:
+        for key, value in shard_load.items():
+            load_energy[key] = load_energy.get(key, 0.0) + value
+    base = _compose_shards(
+        sharding, [report for report, _, _ in split], arch,
+        load_cycles=load_done,
+    )
+    return base, load_done, load_energy
+
+
+def _compose_shards(
+    sharding, reports, arch, load_cycles: int = 0
+) -> FastReport:
+    """Compose per-shard single-input reports over the inter-chip link."""
     from repro.sim.multichip import (
         merge_shard_energy,
         pipeline_schedule,
         steady_state_interval,
     )
 
-    arch = arch or plans[0].arch
-    reports = [analyze_plan(plan) for plan in plans]
     edges = []
     for shard in sharding.shards:
         for tensor in sorted(shard.incoming):
@@ -553,7 +683,7 @@ def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
     for report in reports:
         for _, cycles in sorted(report.stage_cycles.items()):
             stage_cycles[len(stage_cycles)] = cycles
-    base = FastReport(
+    return FastReport(
         cycles=makespan,
         energy_breakdown_pj=energy,
         macs=sum(r.macs for r in reports),
@@ -563,5 +693,5 @@ def analyze_sharded(sharding, plans, arch=None, batch: int = 1) -> FastReport:
         steady_interval_cycles=interval,
         shard_cycles=list(chip_cycles),
         shard_edges=[tuple(edge) for edge in edges],
+        load_cycles=load_cycles,
     )
-    return stream_batched(base, batch) if batch > 1 else base

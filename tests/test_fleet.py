@@ -210,3 +210,100 @@ class TestValidation:
         assert report.batch == 0
         assert report.assignments == []
         assert report.makespan_cycles == 0
+
+
+class TestFaultMetricDenominators:
+    """Fault-plan metrics divide by completed work, never by submitted."""
+
+    def make_all_drop_plan(self):
+        from repro.faults import (
+            FaultPlan,
+            RetryPolicy,
+            TransientRequestFailure,
+        )
+
+        return FaultPlan(
+            events=(TransientRequestFailure(prob=1.0, seed=1),),
+            retry=RetryPolicy(max_attempts=2, backoff_cycles=10),
+        )
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_all_dropped_zeroes_rates(self, march, tier):
+        plan = self.make_all_drop_plan()
+        report = make_fleet(march, tier=tier, replicas=2).submit(
+            batch=4, validate=False, faults=plan
+        )
+        assert report.completed == 0 and report.dropped == 4
+        # Work WAS done (failed attempts burn energy), so dividing by
+        # the submitted batch would fabricate a finite per-inference
+        # cost and throughput; completed-denominators report zero.
+        assert report.total_energy_pj > 0
+        assert report.energy_per_inference_mj == 0.0
+        assert report.throughput_inf_per_s == 0.0
+        assert report.goodput_inf_per_s == 0.0
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_all_dropped_has_no_latency_percentiles(self, march, tier):
+        plan = self.make_all_drop_plan()
+        report = make_fleet(march, tier=tier, replicas=2).submit(
+            batch=4, validate=False, faults=plan
+        )
+        assert report.latency_cycles == []
+        assert report.p50_latency_cycles is None
+        assert report.p99_latency_cycles is None
+        assert report.p99_latency_ms is None
+        assert report.to_dict()["p99_latency_cycles"] is None
+        assert "n/a (0 completed)" in str(report)
+
+    def test_partial_drop_divides_by_completed(self, march):
+        from repro.faults import FaultPlan, ReplicaCrash, RetryPolicy
+
+        # Replica 1 dies mid-stream with no retries: its requests drop,
+        # the survivor's complete.
+        plan = FaultPlan(
+            events=(ReplicaCrash(replica=1, at_cycle=100),),
+            retry=RetryPolicy(max_attempts=1),
+        )
+        report = make_fleet(march, replicas=2).submit(
+            batch=6, validate=False, faults=plan
+        )
+        assert 0 < report.completed < report.batch
+        seconds = report.makespan_cycles * report.cycle_ns / 1e9
+        assert report.throughput_inf_per_s == pytest.approx(
+            report.completed / seconds
+        )
+        assert report.energy_per_inference_mj == pytest.approx(
+            report.total_energy_mj / report.completed
+        )
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_utilization_from_attempt_windows(self, march, tier):
+        from repro.faults import FaultPlan, ReplicaCrash, RetryPolicy
+
+        plan = FaultPlan(
+            events=(ReplicaCrash(replica=1, at_cycle=100),),
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=10),
+        )
+        report = make_fleet(march, tier=tier, replicas=2).submit(
+            batch=6, validate=False, faults=plan
+        )
+        assert len(report.replica_busy_cycles) == 2
+        # Pin the derivation: busy attempt windows over the makespan.
+        for r, sub in enumerate(report.replica_reports):
+            expected = report.replica_busy_cycles[r] / (
+                sub.num_shards * report.makespan_cycles
+            )
+            assert report.replica_utilization[r] == pytest.approx(expected)
+        # The crashed replica ran a partial window, not zero and not a
+        # phantom full service row.
+        row = sum(report.replica_reports[0].shard_cycles)
+        assert 0 < report.replica_busy_cycles[1] < row
+
+    def test_fault_free_keeps_closed_form(self, march):
+        report = make_fleet(march, replicas=2).submit(batch=4, validate=False)
+        assert report.replica_busy_cycles == []
+        for r, sub in enumerate(report.replica_reports):
+            expected = sub.batch * sum(sub.shard_cycles) / (
+                sub.num_shards * report.makespan_cycles
+            )
+            assert report.replica_utilization[r] == pytest.approx(expected)
