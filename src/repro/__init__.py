@@ -31,6 +31,17 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   fidelity tiers, with retries/deadlines via
   :class:`~repro.faults.RetryPolicy` and a conservation guarantee
   (submitted == completed + dropped).
+- :mod:`repro.runtime` -- the async real-time serving frontend:
+  ``await deployment.serve_forever()`` opens a live session whose
+  :meth:`~repro.runtime.ServerHandle.submit` coroutine stamps requests
+  with release cycles from a pluggable clock
+  (:class:`~repro.runtime.VirtualClock` deterministic,
+  :class:`~repro.runtime.WallClock` production) and resolves a future
+  per request; draining replays the recorded trace offline,
+  bit-identical to :class:`~repro.serve.TraceArrivals`.
+- :mod:`repro.console` -- the ``repro watch`` live operator console
+  (Textual ``DataTable`` dashboard over the runtime's typed event
+  stream) and its dependency-free headless ``--snapshot`` JSON mode.
 - :mod:`repro.artifact` -- the shippable compile product: a compiled
   model serialized to a single content-addressed ``.artifact`` file
   (``save_artifact`` / ``load_artifact`` / ``Deployment.load``), so a
@@ -42,8 +53,8 @@ Framework for Systematic Design and Evaluation of Digital CIM Architectures"
   :class:`~repro.explore.SweepSpec` cross products, parallel execution and
   the on-disk result cache (:mod:`repro.explore_cache`).
 - :mod:`repro.cli`     -- the ``python -m repro`` command line
-  (`run` / `compile` / `inspect` / `serve` / `sweep` / `compare` /
-  `report`).
+  (`run` / `compile` / `inspect` / `serve` / `watch` / `sweep` /
+  `compare` / `report`).
 
 See ``README.md`` for a quickstart and ``docs/ARCHITECTURE.md`` for the
 compilation/simulation stack in detail.
@@ -103,6 +114,17 @@ from repro.sim.multichip import (
     steady_state_interval,
     streaming_schedule,
 )
+from repro.runtime import (
+    ReplicaStateChanged,
+    RequestAdmitted,
+    RequestCompleted,
+    RequestCompletion,
+    RequestDropped,
+    ServerHandle,
+    VirtualClock,
+    WallClock,
+    serve_forever,
+)
 from repro.workflow import WorkflowResult, compile_model, run_workflow, simulate
 from repro.serve import (
     ArrivalProcess,
@@ -134,6 +156,15 @@ __all__ = [
     "TraceArrivals",
     "serve_arrivals",
     "serve_fleet",
+    "serve_forever",
+    "ServerHandle",
+    "VirtualClock",
+    "WallClock",
+    "RequestAdmitted",
+    "RequestCompleted",
+    "RequestDropped",
+    "RequestCompletion",
+    "ReplicaStateChanged",
     "Fleet",
     "FleetReport",
     "FaultPlan",

@@ -392,53 +392,13 @@ def _read_trace(path: str) -> List[int]:
 
 
 def _cmd_serve(args) -> int:
-    from repro.serve import (
-        BackToBack,
-        FixedInterval,
-        FixedRate,
-        PoissonArrivals,
-        TraceArrivals,
-    )
-
     plan = None
     if args.faults is not None:
         from repro.faults import load_fault_plan
 
         plan = load_fault_plan(args.faults)
-
-    batch = args.batch
-    if args.trace is not None:
-        trace = _read_trace(args.trace)
-        arrivals = TraceArrivals(trace)
-        batch = len(trace)
-    elif args.poisson is not None:
-        arrivals = PoissonArrivals(args.poisson, seed=args.arrival_seed)
-    elif args.rate is not None:
-        arrivals = FixedRate(args.rate)
-    elif args.interval is not None:
-        arrivals = FixedInterval(args.interval)
-    else:
-        arrivals = BackToBack()
-
-    if args.replicas > 1 or plan is not None:
-        from repro.serve import Fleet, _is_artifact_path
-
-        if _is_artifact_path(args.model):
-            server = Fleet(
-                args.model, arch=_resolve_arch(args),
-                replicas=args.replicas, policy=args.policy, tier=args.tier,
-                resident_weights=args.resident,
-            )
-        else:
-            server = Fleet(
-                args.model, arch=_resolve_arch(args),
-                replicas=args.replicas, policy=args.policy,
-                chips=args.chips, strategy=args.strategy, tier=args.tier,
-                input_size=args.input_size, num_classes=args.num_classes,
-                resident_weights=args.resident,
-            )
-    else:
-        server = _build_deployment(args, tier=args.tier)
+    arrivals, batch = _watch_arrivals(args)
+    server = _build_server(args, plan)
     print(server.summary())
     if plan is not None:
         print(f"  faults: {plan.describe()} [{plan.fingerprint()}]")
@@ -474,6 +434,84 @@ def _cmd_serve(args) -> int:
             args.json,
         )
         print(f"\nwrote {args.json}")
+    return 0
+
+
+def _build_server(args, plan):
+    """Deployment or Fleet from serve/watch-style arguments."""
+    if args.replicas > 1 or plan is not None:
+        from repro.serve import Fleet, _is_artifact_path
+
+        if _is_artifact_path(args.model):
+            return Fleet(
+                args.model, arch=_resolve_arch(args),
+                replicas=args.replicas, policy=args.policy, tier=args.tier,
+                resident_weights=args.resident,
+            )
+        return Fleet(
+            args.model, arch=_resolve_arch(args),
+            replicas=args.replicas, policy=args.policy,
+            chips=args.chips, strategy=args.strategy, tier=args.tier,
+            input_size=args.input_size, num_classes=args.num_classes,
+            resident_weights=args.resident,
+        )
+    return _build_deployment(args, tier=args.tier)
+
+
+def _watch_arrivals(args):
+    """(arrivals, batch) from watch-style arrival flags."""
+    from repro.serve import (
+        BackToBack,
+        FixedInterval,
+        FixedRate,
+        PoissonArrivals,
+        TraceArrivals,
+    )
+
+    batch = args.batch
+    if args.trace is not None:
+        trace = _read_trace(args.trace)
+        return TraceArrivals(trace), len(trace)
+    if args.poisson is not None:
+        return PoissonArrivals(args.poisson, seed=args.arrival_seed), batch
+    if args.rate is not None:
+        return FixedRate(args.rate), batch
+    if args.interval is not None:
+        return FixedInterval(args.interval), batch
+    return BackToBack(), batch
+
+
+def _cmd_watch(args) -> int:
+    from repro.console import headless_watch, run_watch_app, snapshot_json
+
+    plan = None
+    if args.faults is not None:
+        from repro.faults import load_fault_plan
+
+        plan = load_fault_plan(args.faults)
+    arrivals, batch = _watch_arrivals(args)
+    server = _build_server(args, plan)
+    releases = arrivals.release_cycles(batch, server.arch.chip.cycle_ns)
+
+    if args.snapshot is not None:
+        snapshot = headless_watch(
+            server, releases, seed=args.seed,
+            validate=not args.no_validate, faults=plan,
+            window=args.window,
+        )
+        text = snapshot_json(snapshot)
+        if args.snapshot == "-":
+            print(text)
+        else:
+            Path(args.snapshot).write_text(text + "\n")
+            print(f"wrote {args.snapshot}")
+        return 0
+
+    snapshot = run_watch_app(
+        server, releases, seed=args.seed, validate=not args.no_validate,
+        faults=plan, window=args.window, pace_s=args.pace,
+    )
+    print(snapshot_json(snapshot))
     return 0
 
 
@@ -773,71 +811,105 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_.set_defaults(func=_cmd_inspect)
 
     # serve -----------------------------------------------------------------
+    def _add_serving_flags(parser, batch_default):
+        """The serving surface shared by ``serve`` and ``watch``."""
+        parser.add_argument(
+            "model",
+            help=f"model zoo name ({', '.join(available_models())}) "
+                 f"or a compiled .artifact file",
+        )
+        _add_arch_options(parser)
+        parser.add_argument("--strategy", default="dp",
+                            choices=("generic", "duplication", "dp"))
+        parser.add_argument("--chips", type=int, default=1, metavar="N",
+                            help="pipeline-shard the deployment across N "
+                                 "chips")
+        parser.add_argument("--replicas", type=int, default=1, metavar="R",
+                            help="serve through a fleet of R identical "
+                                 "replicas fed from one arrival stream "
+                                 "(default 1)")
+        parser.add_argument("--policy", choices=("rr", "jsq"), default="rr",
+                            help="fleet dispatch policy: round-robin or "
+                                 "join-shortest-queue (with --replicas > 1)")
+        parser.add_argument("--batch", type=int, default=batch_default,
+                            metavar="B",
+                            help=f"number of inputs to submit (default "
+                                 f"{batch_default}; ignored with --trace, "
+                                 f"which sets it)")
+        arrival = parser.add_mutually_exclusive_group()
+        arrival.add_argument("--rate", type=float, default=None,
+                             metavar="INF_S",
+                             help="fixed-rate arrivals in inferences/second "
+                                  "(default: back-to-back)")
+        arrival.add_argument("--interval", type=int, default=None,
+                             metavar="CYC",
+                             help="fixed arrival interval in cycles")
+        arrival.add_argument("--poisson", type=float, default=None,
+                             metavar="INF_S",
+                             help="Poisson arrivals at a mean rate "
+                                  "(seeded by --arrival-seed)")
+        arrival.add_argument("--trace", metavar="FILE", default=None,
+                             help="recorded arrival trace: JSON array or "
+                                  "whitespace-separated release cycles")
+        parser.add_argument("--arrival-seed", type=int, default=0,
+                            help="seed for --poisson arrival draws")
+        parser.add_argument("--faults", metavar="FILE", default=None,
+                            help="JSON fault plan (repro.faults."
+                                 "save_fault_plan) to replay "
+                                 "deterministically against the fleet: "
+                                 "crashes, slowdowns, link degradation, "
+                                 "transient failures with retries/deadlines")
+        parser.add_argument("--resident", action="store_true",
+                            help="open a resident-weights session: weights "
+                                 "load once per shard on the first "
+                                 "submission, later inputs replay only "
+                                 "activation traffic (bit-identical "
+                                 "outputs; needs a full compilation, not a "
+                                 ".artifact)")
+        parser.add_argument("--tier", choices=("cyclesim", "fast"),
+                            default="cyclesim",
+                            help="cyclesim = exact execution + bit-exact "
+                                 "validation; fast = analytical pricing of "
+                                 "the same schedule (paper-scale models)")
+        parser.add_argument("--input-size", type=int, default=32,
+                            help="input resolution (keep small on cyclesim)")
+        parser.add_argument("--num-classes", type=int, default=10)
+        parser.add_argument("--seed", type=int, default=0,
+                            help="seed for the random input tensors")
+        parser.add_argument("--no-validate", action="store_true",
+                            help="skip the golden-model output checks")
+
     serve = sub.add_parser(
         "serve",
         help="deploy one model and stream inputs through it under an "
              "arrival process (latency percentiles, utilisation)",
     )
-    serve.add_argument(
-        "model",
-        help=f"model zoo name ({', '.join(available_models())}) "
-             f"or a compiled .artifact file",
-    )
-    _add_arch_options(serve)
-    serve.add_argument("--strategy", default="dp",
-                       choices=("generic", "duplication", "dp"))
-    serve.add_argument("--chips", type=int, default=1, metavar="N",
-                       help="pipeline-shard the deployment across N chips")
-    serve.add_argument("--replicas", type=int, default=1, metavar="R",
-                       help="serve through a fleet of R identical replicas "
-                            "fed from one arrival stream (default 1)")
-    serve.add_argument("--policy", choices=("rr", "jsq"), default="rr",
-                       help="fleet dispatch policy: round-robin or "
-                            "join-shortest-queue (with --replicas > 1)")
-    serve.add_argument("--batch", type=int, default=8, metavar="B",
-                       help="number of inputs to submit (default 8; "
-                            "ignored with --trace, which sets it)")
-    arrival = serve.add_mutually_exclusive_group()
-    arrival.add_argument("--rate", type=float, default=None, metavar="INF_S",
-                         help="fixed-rate arrivals in inferences/second "
-                              "(default: back-to-back)")
-    arrival.add_argument("--interval", type=int, default=None, metavar="CYC",
-                         help="fixed arrival interval in cycles")
-    arrival.add_argument("--poisson", type=float, default=None,
-                         metavar="INF_S",
-                         help="Poisson arrivals at a mean rate "
-                              "(seeded by --arrival-seed)")
-    arrival.add_argument("--trace", metavar="FILE", default=None,
-                         help="recorded arrival trace: JSON array or "
-                              "whitespace-separated release cycles")
-    serve.add_argument("--arrival-seed", type=int, default=0,
-                       help="seed for --poisson arrival draws")
-    serve.add_argument("--faults", metavar="FILE", default=None,
-                       help="JSON fault plan (repro.faults.save_fault_plan) "
-                            "to replay deterministically against the fleet: "
-                            "crashes, slowdowns, link degradation, "
-                            "transient failures with retries/deadlines")
-    serve.add_argument("--resident", action="store_true",
-                       help="open a resident-weights session: weights load "
-                            "once per shard on the first submission, later "
-                            "inputs replay only activation traffic "
-                            "(bit-identical outputs; needs a full "
-                            "compilation, not a .artifact)")
-    serve.add_argument("--tier", choices=("cyclesim", "fast"),
-                       default="cyclesim",
-                       help="cyclesim = exact execution + bit-exact "
-                            "validation; fast = analytical pricing of the "
-                            "same schedule (paper-scale models)")
-    serve.add_argument("--input-size", type=int, default=32,
-                       help="input resolution (keep small on cyclesim)")
-    serve.add_argument("--num-classes", type=int, default=10)
-    serve.add_argument("--seed", type=int, default=0,
-                       help="seed for the random input tensors")
-    serve.add_argument("--no-validate", action="store_true",
-                       help="skip the golden-model output checks")
+    _add_serving_flags(serve, batch_default=8)
     serve.add_argument("--json", metavar="FILE",
                        help="write the serving report as JSON")
     serve.set_defaults(func=_cmd_serve)
+
+    # watch -----------------------------------------------------------------
+    watch = sub.add_parser(
+        "watch",
+        help="serve a scripted arrival stream through the async runtime "
+             "and watch it live (Textual console), or dump the operator "
+             "tables as JSON with --snapshot",
+    )
+    _add_serving_flags(watch, batch_default=16)
+    watch.add_argument("--snapshot", metavar="FILE", nargs="?", const="-",
+                       default=None,
+                       help="headless mode: run the whole session "
+                            "immediately and dump the console tables as "
+                            "JSON to FILE ('-' or no value = stdout); "
+                            "needs no optional dependencies")
+    watch.add_argument("--window", type=int, default=64, metavar="N",
+                       help="rolling window (completions) for the live "
+                            "p50/p99 latency columns (default 64)")
+    watch.add_argument("--pace", type=float, default=0.2, metavar="S",
+                       help="live mode: wall seconds between submissions "
+                            "(default 0.2)")
+    watch.set_defaults(func=_cmd_watch)
 
     # sweep -----------------------------------------------------------------
     sweep = sub.add_parser(

@@ -688,6 +688,246 @@ class FaultSchedule:
             )
 
 
+@dataclass(frozen=True)
+class EngineOutcome:
+    """One request's final verdict as the engine settles it.
+
+    ``status`` is ``"completed"`` or a drop reason
+    (:data:`DROP_DEADLINE` / :data:`DROP_MAX_ATTEMPTS` /
+    :data:`DROP_NO_REPLICA`); dropped requests carry ``replica == -1``
+    and ``finish_cycle == 0``, mirroring :class:`FaultSchedule`.
+    """
+
+    request: int
+    status: str
+    finish_cycle: int
+    replica: int
+    attempts: int
+
+    @property
+    def completed(self) -> bool:
+        return self.status == "completed"
+
+
+class FailoverEngine:
+    """The failover engine, exposed one event at a time.
+
+    This is the exact event loop of :func:`run_fault_schedule` (which
+    is now a thin batch driver over it), restructured so the async
+    serving runtime (:mod:`repro.runtime`) can feed wall-clock arrivals
+    in as they happen and learn each request's fate as soon as it is
+    determined.  Events are processed in ``(ready_cycle, request,
+    attempt)`` order; because :meth:`push` requires non-decreasing
+    release cycles (and request ids grow monotonically), every event
+    whose key is at or below the latest pushed release can never be
+    preceded by a future submission -- :meth:`settle_through` processes
+    exactly those, so incremental driving is a pure reordering of the
+    batch loop and reproduces it bit for bit.
+    """
+
+    def __init__(
+        self,
+        row: Sequence[int],
+        edges: Sequence[TransferEdge],
+        link: InterChipConfig,
+        replicas: int,
+        policy: str = "rr",
+        plan: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+        load_offsets: Optional[Sequence[int]] = None,
+    ):
+        self.plan = plan if plan is not None else FaultPlan()
+        policy_retry = retry if retry is not None else self.plan.retry
+        self.retry_policy = (
+            policy_retry if policy_retry is not None else RetryPolicy()
+        )
+        self.policy = policy
+        self.replicas = int(replicas)
+        self._deadline = self.retry_policy.per_request_deadline_cycles
+        if load_offsets is None:
+            load_offsets = [0] * self.replicas
+        elif len(load_offsets) != self.replicas:
+            raise SimulationError(
+                f"load_offsets has {len(load_offsets)} entries for "
+                f"{self.replicas} replicas"
+            )
+        self.states = [
+            _FaultyReplicaState(
+                row, edges, link, self.plan, r, load_offset=load_offsets[r]
+            )
+            for r in range(self.replicas)
+        ]
+        self.releases: List[int] = []
+        self.assignments: List[int] = []
+        self.finishes: List[int] = []
+        self.statuses: List[str] = []
+        self.attempt_counts: List[int] = []
+        self.attempts: List[AttemptRecord] = []
+        self.replica_attempts: List[List[AttemptRecord]] = [
+            [] for _ in range(self.replicas)
+        ]
+        self.retries = 0
+        self.makespan = 0
+        self._rr_cursor = 0
+        self._heap: List[Tuple[int, int, int]] = []
+
+    def push(self, release: int) -> int:
+        """Submit one request released at ``release``; returns its id.
+
+        Releases must be non-decreasing (wall clocks are monotonic);
+        a regression raises :class:`~repro.errors.SimulationError`
+        because it would break the settled-outcome-is-final guarantee.
+        """
+        release = int(release)
+        if self.releases and release < self.releases[-1]:
+            raise SimulationError(
+                f"failover engine requires non-decreasing releases: got "
+                f"{release} after {self.releases[-1]}"
+            )
+        request = len(self.releases)
+        self.releases.append(release)
+        self.assignments.append(-1)
+        self.finishes.append(0)
+        self.statuses.append("")
+        self.attempt_counts.append(0)
+        heappush(self._heap, (release, request, 1))
+        return request
+
+    def settle_through(self, cycle: int) -> List[EngineOutcome]:
+        """Process every queued event with ``ready_cycle <= cycle``.
+
+        Safe (final) whenever ``cycle`` is at most the latest pushed
+        release: any future submission keys strictly after every event
+        processed here.  Returns the requests whose fate was decided,
+        in decision order.
+        """
+        outcomes: List[EngineOutcome] = []
+        while self._heap and self._heap[0][0] <= cycle:
+            outcome = self._step()
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
+    def drain(self) -> List[EngineOutcome]:
+        """Process everything still queued (no more pushes may follow)."""
+        outcomes: List[EngineOutcome] = []
+        while self._heap:
+            outcome = self._step()
+            if outcome is not None:
+                outcomes.append(outcome)
+        return outcomes
+
+    def _terminal(self, request: int, status: str) -> EngineOutcome:
+        self.statuses[request] = status
+        return EngineOutcome(
+            request=request,
+            status=status,
+            finish_cycle=self.finishes[request],
+            replica=self.assignments[request],
+            attempts=self.attempt_counts[request],
+        )
+
+    def _step(self) -> Optional[EngineOutcome]:
+        """Process one ``(ready, request, attempt)`` event.
+
+        Returns the request's :class:`EngineOutcome` when this event
+        decided its fate, ``None`` when a retry was scheduled instead.
+        """
+        rp = self.retry_policy
+        ready, request, attempt = heappop(self._heap)
+        release = self.releases[request]
+        if self._deadline is not None and ready > release + self._deadline:
+            return self._terminal(request, DROP_DEADLINE)
+        alive = [
+            r for r in range(self.replicas)
+            if self.states[r].alive_at(ready)
+        ]
+        if not alive:
+            return self._terminal(request, DROP_NO_REPLICA)
+        if self.policy == "jsq":
+            choice = min(
+                alive, key=lambda r: (self.states[r].queue_depth(ready), r)
+            )
+        else:
+            choice = alive[self._rr_cursor % len(alive)]
+            self._rr_cursor += 1
+        state = self.states[choice]
+        self.attempt_counts[request] = attempt
+        dispatch = max(ready, state.load_offset)
+        start, finish = state.admit(dispatch)
+
+        if state.crash is not None and finish > state.crash:
+            record = AttemptRecord(
+                request, attempt, choice, dispatch, state.crash, "crashed",
+                start_cycle=start,
+            )
+            self.attempts.append(record)
+            self.replica_attempts[choice].append(record)
+            self.makespan = max(self.makespan, state.crash)
+            if attempt < rp.max_attempts:
+                self.retries += 1
+                heappush(
+                    self._heap,
+                    (state.crash + rp.backoff_cycles, request, attempt + 1),
+                )
+                return None
+            return self._terminal(request, DROP_MAX_ATTEMPTS)
+
+        self.makespan = max(self.makespan, finish)
+        if self.plan.attempt_fails(request, attempt):
+            record = AttemptRecord(
+                request, attempt, choice, dispatch, finish, "transient",
+                start_cycle=start,
+            )
+            self.attempts.append(record)
+            self.replica_attempts[choice].append(record)
+            if attempt < rp.max_attempts:
+                self.retries += 1
+                heappush(
+                    self._heap,
+                    (finish + rp.backoff_cycles, request, attempt + 1),
+                )
+                return None
+            return self._terminal(request, DROP_MAX_ATTEMPTS)
+
+        if self._deadline is not None and finish > release + self._deadline:
+            record = AttemptRecord(
+                request, attempt, choice, dispatch, finish, "late",
+                start_cycle=start,
+            )
+            self.attempts.append(record)
+            self.replica_attempts[choice].append(record)
+            return self._terminal(request, DROP_DEADLINE)
+
+        record = AttemptRecord(
+            request, attempt, choice, dispatch, finish, "completed",
+            start_cycle=start,
+        )
+        self.attempts.append(record)
+        self.replica_attempts[choice].append(record)
+        self.assignments[request] = choice
+        self.finishes[request] = finish
+        return self._terminal(request, "completed")
+
+    def finish(self) -> FaultSchedule:
+        """Drain the queue and return the complete account of the run."""
+        self.drain()
+        schedule = FaultSchedule(
+            batch=len(self.releases),
+            replicas=self.replicas,
+            assignments=list(self.assignments),
+            finishes=list(self.finishes),
+            statuses=list(self.statuses),
+            attempt_counts=list(self.attempt_counts),
+            retries=self.retries,
+            attempts=list(self.attempts),
+            replica_attempts=[list(rs) for rs in self.replica_attempts],
+            makespan=self.makespan,
+        )
+        schedule.check_conservation()
+        return schedule
+
+
 def run_fault_schedule(
     releases: Sequence[int],
     row: Sequence[int],
@@ -719,131 +959,16 @@ def run_fault_schedule(
     reproduces the engine's finishes exactly.  ``None`` (or all zeros)
     is the identity and keeps the schedule bit-identical to the
     non-resident engine.
+
+    This is the batch driver over :class:`FailoverEngine`; the async
+    runtime drives the same engine incrementally, which is why a
+    drained-then-replayed live session reproduces this function's
+    schedule exactly.
     """
-    plan = plan if plan is not None else FaultPlan()
-    policy_retry = retry if retry is not None else plan.retry
-    rp = policy_retry if policy_retry is not None else RetryPolicy()
-    batch = len(releases)
-    deadline = rp.per_request_deadline_cycles
-
-    if load_offsets is None:
-        load_offsets = [0] * replicas
-    elif len(load_offsets) != replicas:
-        raise SimulationError(
-            f"load_offsets has {len(load_offsets)} entries for "
-            f"{replicas} replicas"
-        )
-    states = [
-        _FaultyReplicaState(
-            row, edges, link, plan, r, load_offset=load_offsets[r]
-        )
-        for r in range(replicas)
-    ]
-    assignments = [-1] * batch
-    finishes = [0] * batch
-    statuses = [""] * batch
-    attempt_counts = [0] * batch
-    attempts: List[AttemptRecord] = []
-    replica_attempts: List[List[AttemptRecord]] = [
-        [] for _ in range(replicas)
-    ]
-    retries = 0
-    makespan = 0
-    rr_cursor = 0
-
-    heap: List[Tuple[int, int, int]] = []
-    for i, release in enumerate(releases):
-        heappush(heap, (int(release), i, 1))
-
-    while heap:
-        ready, request, attempt = heappop(heap)
-        release = int(releases[request])
-        if deadline is not None and ready > release + deadline:
-            statuses[request] = DROP_DEADLINE
-            continue
-        alive = [r for r in range(replicas) if states[r].alive_at(ready)]
-        if not alive:
-            statuses[request] = DROP_NO_REPLICA
-            continue
-        if policy == "jsq":
-            choice = min(
-                alive, key=lambda r: (states[r].queue_depth(ready), r)
-            )
-        else:
-            choice = alive[rr_cursor % len(alive)]
-            rr_cursor += 1
-        state = states[choice]
-        attempt_counts[request] = attempt
-        dispatch = max(ready, state.load_offset)
-        start, finish = state.admit(dispatch)
-
-        if state.crash is not None and finish > state.crash:
-            record = AttemptRecord(
-                request, attempt, choice, dispatch, state.crash, "crashed",
-                start_cycle=start,
-            )
-            attempts.append(record)
-            replica_attempts[choice].append(record)
-            makespan = max(makespan, state.crash)
-            if attempt < rp.max_attempts:
-                retries += 1
-                heappush(
-                    heap,
-                    (state.crash + rp.backoff_cycles, request, attempt + 1),
-                )
-            else:
-                statuses[request] = DROP_MAX_ATTEMPTS
-            continue
-
-        makespan = max(makespan, finish)
-        if plan.attempt_fails(request, attempt):
-            record = AttemptRecord(
-                request, attempt, choice, dispatch, finish, "transient",
-                start_cycle=start,
-            )
-            attempts.append(record)
-            replica_attempts[choice].append(record)
-            if attempt < rp.max_attempts:
-                retries += 1
-                heappush(
-                    heap,
-                    (finish + rp.backoff_cycles, request, attempt + 1),
-                )
-            else:
-                statuses[request] = DROP_MAX_ATTEMPTS
-            continue
-
-        if deadline is not None and finish > release + deadline:
-            record = AttemptRecord(
-                request, attempt, choice, dispatch, finish, "late",
-                start_cycle=start,
-            )
-            attempts.append(record)
-            replica_attempts[choice].append(record)
-            statuses[request] = DROP_DEADLINE
-            continue
-
-        record = AttemptRecord(
-            request, attempt, choice, dispatch, finish, "completed",
-            start_cycle=start,
-        )
-        attempts.append(record)
-        replica_attempts[choice].append(record)
-        assignments[request] = choice
-        finishes[request] = finish
-        statuses[request] = "completed"
-
-    schedule = FaultSchedule(
-        batch=batch,
-        replicas=replicas,
-        assignments=assignments,
-        finishes=finishes,
-        statuses=statuses,
-        attempt_counts=attempt_counts,
-        retries=retries,
-        attempts=attempts,
-        replica_attempts=replica_attempts,
-        makespan=makespan,
+    engine = FailoverEngine(
+        row, edges, link, replicas, policy=policy, plan=plan, retry=retry,
+        load_offsets=load_offsets,
     )
-    schedule.check_conservation()
-    return schedule
+    for release in releases:
+        engine.push(release)
+    return engine.finish()

@@ -35,7 +35,7 @@ every output bit-identical to an independent single-input run.
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -167,12 +167,30 @@ class PoissonArrivals(ArrivalProcess):
 
 
 class TraceArrivals(ArrivalProcess):
-    """A recorded arrival trace: one release cycle per input."""
+    """A recorded arrival trace: one release cycle per input.
+
+    Release cycles must be non-decreasing: the queueing law admits
+    inputs FIFO in submission order, so a trace whose entry ``i+1``
+    releases *before* entry ``i`` describes a different arrival order
+    than the one it would be served in.  Such a trace is rejected with
+    :class:`~repro.errors.ConfigError` instead of silently serving the
+    late release first-in-line; sort the recorded timestamps before
+    constructing the trace.
+    """
 
     def __init__(self, release_cycles: Sequence[int]):
         self.releases = [int(c) for c in release_cycles]
         if any(c < 0 for c in self.releases):
             raise ConfigError("trace release cycles must be >= 0")
+        for i in range(1, len(self.releases)):
+            if self.releases[i] < self.releases[i - 1]:
+                raise ConfigError(
+                    f"trace release cycles must be non-decreasing "
+                    f"(inputs are served FIFO in submission order): "
+                    f"entry {i} releases at {self.releases[i]}, after "
+                    f"entry {i - 1} at {self.releases[i - 1]}; sort the "
+                    f"trace first"
+                )
 
     def __len__(self) -> int:
         return len(self.releases)
@@ -190,7 +208,17 @@ class TraceArrivals(ArrivalProcess):
 
 
 def latency_percentile(latencies: Sequence[int], pct: float) -> int:
-    """Nearest-rank percentile (deterministic on integer cycle counts)."""
+    """Nearest-rank percentile (deterministic on integer cycle counts).
+
+    ``pct`` must lie in ``(0, 100]``: the 0th percentile is undefined
+    under the nearest-rank definition (there is no rank 0) and anything
+    above 100 would silently clamp to the maximum, so both are rejected
+    with :class:`~repro.errors.ConfigError`.
+    """
+    if not 0.0 < pct <= 100.0:
+        raise ConfigError(
+            f"percentile must be in (0, 100], got {pct!r}"
+        )
     if not latencies:
         return 0
     ordered = sorted(latencies)
@@ -494,6 +522,7 @@ class Deployment:
         self._plans = None
         self._sharding = None
         self._fast_reports = None
+        self._profile = None  #: cached (service row, transfer edges)
 
         if isinstance(model, (CompiledModel, MultiChipModel)):
             if (
@@ -649,6 +678,52 @@ class Deployment:
             edges.sort()
             return edges
         return []
+
+    def _service_profile(self):
+        """(per-shard cycle row, transfer edges) of one input.
+
+        Timing is data-independent under per-input isolation, so in the
+        cyclesim tier a single probe submission measures the exact
+        service row every admission prediction needs; the fast tier
+        reads its analytical reports.  Cached for the deployment's
+        lifetime (the compile product is immutable).
+        """
+        if self._profile is None:
+            edges = self._transfer_edges()
+            if self.tier == "fast":
+                row = [r.cycles for r in self._fast_shard_reports()]
+            else:
+                # The probe must not consume a resident session's cold
+                # start: the accounting flag is restored so the first
+                # real submission still pays the load phase.  (The
+                # probe's shard_cycles are the warm row -- exactly the
+                # per-input service profile a resident session
+                # schedules.)
+                loaded = self._resident_loaded
+                probe = self.submit(batch=1, validate=False)
+                self._resident_loaded = loaded
+                row = list(probe.shard_cycles)
+            self._profile = (row, edges)
+        return self._profile
+
+    def serve_forever(
+        self,
+        *,
+        clock=None,
+        seed: int = 0,
+        validate: bool = True,
+    ):
+        """Open an async real-time serving session on this deployment.
+
+        Must be awaited inside a running asyncio event loop; returns a
+        :class:`repro.runtime.ServerHandle` whose ``submit()`` coroutine
+        accepts wall-clock (or :class:`repro.runtime.VirtualClock`)
+        requests and resolves a future per request with its completion
+        cycle and latency.  See :mod:`repro.runtime`.
+        """
+        from repro.runtime import serve_forever
+
+        return serve_forever(self, clock=clock, seed=seed, validate=validate)
 
     # -- single-input latency mode -----------------------------------------
     def run(
@@ -1103,15 +1178,22 @@ class _ReplicaState:
         self.link_free: Dict[tuple, int] = {}
         self.finishes: List[int] = []
 
-    def admit(self, release: int) -> int:
-        """Account one input released at ``release``; returns its finish."""
+    def admit(self, release: int) -> Tuple[int, int]:
+        """Account one input released at ``release``.
+
+        Returns ``(start, finish)``: the shard-0 service-entry cycle
+        and the last-shard completion cycle.
+        """
         n = len(self.row)
         arrival = [0] * n
         if n:
             arrival[0] = release
+        first_start = release
         finishes = [0] * n
         for k in range(n):
             start = max(arrival[k], self.prev_finish[k])
+            if k == 0:
+                first_start = start
             finishes[k] = start + self.row[k]
             for src, dst, nbytes in self.edges:
                 if src != k:
@@ -1127,11 +1209,49 @@ class _ReplicaState:
         self.prev_finish = finishes
         finish = max(finishes) if finishes else release
         self.finishes.append(finish)
-        return finish
+        return first_start, finish
 
     def queue_depth(self, now: int) -> int:
         """Inputs admitted so far that would still be in flight at ``now``."""
         return sum(1 for f in self.finishes if f > now)
+
+
+class _Dispatcher:
+    """Incremental fleet routing: one release in, one replica index out.
+
+    The exact dispatch law of :meth:`Fleet.submit` (which drives it over
+    the whole release list) factored into a per-release step so the
+    async runtime (:mod:`repro.runtime`) can route wall-clock arrivals
+    online with bit-identical choices: ``"rr"`` sends global input ``i``
+    to replica ``i % R``; ``"jsq"`` joins the replica with the fewest
+    predicted in-flight inputs at release time (ties to the lowest
+    index), predictions from each replica's :class:`_ReplicaState`
+    admission mirror.
+    """
+
+    def __init__(self, policy: str, replicas: int, row, edges, link):
+        if policy not in FLEET_POLICIES:
+            raise ConfigError(
+                f"unknown dispatch policy {policy!r}; expected one of "
+                f"{FLEET_POLICIES}"
+            )
+        self.policy = policy
+        self.replicas = int(replicas)
+        self._count = 0
+        self._states = (
+            [_ReplicaState(row, edges, link) for _ in range(self.replicas)]
+            if policy == "jsq" else None
+        )
+
+    def route(self, release: int) -> int:
+        if self.policy == "rr":
+            choice = self._count % self.replicas
+            self._count += 1
+            return choice
+        depths = [state.queue_depth(release) for state in self._states]
+        choice = min(range(self.replicas), key=lambda r: (depths[r], r))
+        self._states[choice].admit(release)
+        return choice
 
 
 @dataclass
@@ -1559,7 +1679,6 @@ class Fleet:
                 tier=tier, closure_limit=closure_limit,
                 resident_weights=resident_weights, **model_kwargs,
             )
-        self._profile = None
         #: Resident sessions: which replicas hold loaded weights.  All
         #: replicas share one compile product and (cyclesim) one loaded
         #: simulator state -- identical by determinism -- but each pays
@@ -1590,48 +1709,41 @@ class Fleet:
             f"  fleet: {self.num_replicas} replica(s), policy {self.policy}"
         )
 
+    def serve_forever(
+        self,
+        *,
+        clock=None,
+        seed: int = 0,
+        validate: bool = True,
+        faults: Optional[FaultPlan] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
+        """Open an async real-time serving session across the fleet.
+
+        Like :meth:`Deployment.serve_forever`, with the fleet's rr/jsq
+        dispatch and, when ``faults``/``retry`` are given, the failover
+        engine routing each arrival online.  See :mod:`repro.runtime`.
+        """
+        from repro.runtime import serve_forever
+
+        return serve_forever(
+            self, clock=clock, seed=seed, validate=validate,
+            faults=faults, retry=retry,
+        )
+
     # -- dispatch -----------------------------------------------------------
     def _service_profile(self):
-        """(per-shard cycle row, transfer edges) of one input.
-
-        Timing is data-independent, so in the cyclesim tier a single
-        probe submission measures the exact service row every JSQ
-        prediction needs; the fast tier reads its analytical reports.
-        """
-        if self._profile is None:
-            dep = self.deployment
-            edges = dep._transfer_edges()
-            if dep.tier == "fast":
-                row = [r.cycles for r in dep._fast_shard_reports()]
-            else:
-                # The probe must not consume the session's cold start: a
-                # resident deployment restores its accounting flag so the
-                # first real submission still pays the load phase.  (The
-                # probe's shard_cycles are the warm row -- exactly the
-                # per-input service profile a resident fleet schedules.)
-                loaded = dep._resident_loaded
-                probe = dep.submit(batch=1, validate=False)
-                dep._resident_loaded = loaded
-                row = list(probe.shard_cycles)
-            self._profile = (row, edges)
-        return self._profile
+        """(per-shard cycle row, transfer edges) of one input."""
+        return self.deployment._service_profile()
 
     def _dispatch(self, releases: Sequence[int]) -> List[int]:
         if self.policy == "rr":
             return [i % self.num_replicas for i in range(len(releases))]
         row, edges = self._service_profile()
-        link = self.arch.interchip
-        states = [
-            _ReplicaState(row, edges, link)
-            for _ in range(self.num_replicas)
-        ]
-        assignments: List[int] = []
-        for release in releases:
-            depths = [state.queue_depth(release) for state in states]
-            choice = min(range(self.num_replicas), key=lambda r: (depths[r], r))
-            states[choice].admit(release)
-            assignments.append(choice)
-        return assignments
+        dispatcher = _Dispatcher(
+            self.policy, self.num_replicas, row, edges, self.arch.interchip
+        )
+        return [dispatcher.route(release) for release in releases]
 
     # -- submission ---------------------------------------------------------
     def submit(

@@ -456,6 +456,42 @@ def serve_arrivals(
     )
 
 
+def steady_state_utilization(
+    shard_cycles: Sequence[int],
+    shard_edges: Sequence,
+    link,
+    arrival_interval_cycles: float,
+) -> List[float]:
+    """Closed-form per-shard utilisation at a sustained arrival interval.
+
+    Below saturation each input occupies shard ``k`` for
+    ``shard_cycles[k]`` out of every ``arrival_interval_cycles``; at or
+    past saturation (interval at or below the bottleneck of
+    :func:`repro.sim.multichip.steady_state_interval`) the initiation
+    interval pins to the bottleneck and the busiest resource runs at
+    1.0.  An interval of 0 (back-to-back offered load) is saturation by
+    definition.  The live console (:mod:`repro.console`) prints this
+    next to the measured utilisation from the runtime's event stream --
+    the model-vs-measured cross-check for a running session.
+    """
+    from repro.sim.multichip import steady_state_interval
+
+    if not shard_cycles:
+        return []
+    if arrival_interval_cycles < 0:
+        raise ConfigError(
+            f"arrival interval must be >= 0 cycles, got "
+            f"{arrival_interval_cycles}"
+        )
+    bottleneck = steady_state_interval(
+        list(shard_cycles), list(shard_edges), link
+    )
+    effective = max(float(arrival_interval_cycles), float(bottleneck))
+    if effective <= 0:
+        return [0.0 for _ in shard_cycles]
+    return [cycles / effective for cycles in shard_cycles]
+
+
 def serve_fleet(
     report: FastReport,
     releases: Sequence[int],

@@ -34,6 +34,16 @@ PUBLIC_API = sorted([
     "serve_fleet",
     "Fleet",
     "FleetReport",
+    # async real-time serving runtime
+    "serve_forever",
+    "ServerHandle",
+    "VirtualClock",
+    "WallClock",
+    "RequestAdmitted",
+    "RequestCompleted",
+    "RequestDropped",
+    "RequestCompletion",
+    "ReplicaStateChanged",
     # fault injection & fault-tolerant serving
     "FaultPlan",
     "RetryPolicy",

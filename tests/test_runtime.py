@@ -1,0 +1,376 @@
+"""The async serving runtime: live sessions replay to the offline law.
+
+The contract under test (``docs/ARCHITECTURE.md``, "The async serving
+runtime"):
+
+- **clock mapping**: a submission's release cycle comes from the
+  pluggable clock (``at=`` overrides it); release cycles must be
+  non-decreasing, because the offline FIFO admission law the session
+  replays to depends on submission order;
+- **online == offline**: a drained session's report is bit-identical
+  to the same releases run through ``run_trace`` /
+  :class:`~repro.serve.TraceArrivals` -- in both fidelity tiers, with
+  ``replicas > 1``, under fault plans, and in resident-weights
+  sessions -- and every live-resolved future agreed with that report
+  *before* the simulators executed;
+- **determinism**: the same scripted session twice produces
+  byte-identical event streams and final reports, including under a
+  mid-stream crash.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import (
+    Deployment,
+    FaultPlan,
+    Fleet,
+    ReplicaCrash,
+    RetryPolicy,
+    TransientRequestFailure,
+    VirtualClock,
+    WallClock,
+    serve_forever,
+)
+from repro.errors import ConfigError
+from repro.faults import DROP_MAX_ATTEMPTS
+
+
+def _deployment(arch, tier="cyclesim", **kw):
+    return Deployment(
+        "tiny_mlp", arch, tier=tier, input_size=8, num_classes=10, **kw
+    )
+
+
+def _fleet(arch, tier="cyclesim", **kw):
+    return Fleet(
+        "tiny_mlp", arch, tier=tier, input_size=8, num_classes=10, **kw
+    )
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _script(server, releases, **serve_kw):
+    """Drive ``releases`` through a virtual-clock session; return
+    (handle, completions, drained report)."""
+    clock = VirtualClock()
+    handle = await serve_forever(server, clock=clock, **serve_kw)
+    futures = []
+    for release in releases:
+        clock.advance_to(release)
+        futures.append(await handle.submit())
+    report = await handle.drain()
+    completions = [await f for f in futures]
+    return handle, completions, report
+
+
+# ---------------------------------------------------------------------------
+# Clocks
+# ---------------------------------------------------------------------------
+
+class TestClocks:
+    def test_virtual_clock_advances(self):
+        clock = VirtualClock()
+        assert clock.now_cycles() == 0
+        assert clock.advance(100) == 100
+        assert clock.advance_to(250) == 250
+        assert clock.now_cycles() == 250
+
+    def test_virtual_clock_never_rewinds(self):
+        clock = VirtualClock(start_cycle=50)
+        with pytest.raises(ConfigError, match="forward"):
+            clock.advance(-1)
+        with pytest.raises(ConfigError, match="forward"):
+            clock.advance_to(49)
+        with pytest.raises(ConfigError, match="cycle 0"):
+            VirtualClock(start_cycle=-1)
+
+    def test_wall_clock_is_monotonic_on_the_cycle_grid(self):
+        clock = WallClock(cycle_ns=2.0)
+        clock.start()
+        a = clock.now_cycles()
+        b = clock.now_cycles()
+        assert 0 <= a <= b
+
+    def test_wall_clock_rejects_bad_cycle_time(self):
+        with pytest.raises(ConfigError, match="cycle_ns"):
+            WallClock(cycle_ns=0)
+
+
+# ---------------------------------------------------------------------------
+# Submission semantics
+# ---------------------------------------------------------------------------
+
+class TestSubmission:
+    def test_releases_must_be_non_decreasing(self, arch):
+        async def scenario():
+            handle = await _deployment(arch).serve_forever(
+                clock=VirtualClock()
+            )
+            await handle.submit(at=100)
+            with pytest.raises(ConfigError, match="non-decreasing"):
+                await handle.submit(at=99)
+            await handle.submit(at=100)  # ties are fine
+            await handle.drain()
+
+        _run(scenario())
+
+    def test_negative_release_rejected(self, arch):
+        async def scenario():
+            handle = await _deployment(arch).serve_forever(
+                clock=VirtualClock()
+            )
+            with pytest.raises(ConfigError, match=">= 0"):
+                await handle.submit(at=-5)
+            await handle.drain()
+
+        _run(scenario())
+
+    def test_session_is_single_use(self, arch):
+        async def scenario():
+            handle = await _deployment(arch).serve_forever(
+                clock=VirtualClock()
+            )
+            await handle.submit()
+            report = await handle.drain()
+            assert report is await handle.drain()  # idempotent
+            with pytest.raises(ConfigError, match="drained"):
+                await handle.submit()
+
+        _run(scenario())
+
+    def test_close_cancels_pending_without_executing(self, arch):
+        async def scenario():
+            handle = await _deployment(arch).serve_forever(
+                clock=VirtualClock()
+            )
+            future = await handle.submit()
+            await handle.close()
+            # Unfaulted sessions resolve at admission, so the future
+            # already carries its completion; the session just never
+            # executed (no report).
+            assert handle.report is None
+            assert future.done()
+
+        _run(scenario())
+
+    def test_faults_need_a_fleet(self, arch):
+        plan = FaultPlan(events=(ReplicaCrash(replica=0, at_cycle=10),))
+        with pytest.raises(ConfigError, match="Fleet"):
+            _run(serve_forever(
+                _deployment(arch), clock=VirtualClock(), faults=plan
+            ))
+
+    def test_server_must_be_deployment_or_fleet(self):
+        with pytest.raises(ConfigError, match="Deployment or Fleet"):
+            _run(serve_forever(object(), clock=VirtualClock()))
+
+
+# ---------------------------------------------------------------------------
+# Online == offline (the acceptance criterion)
+# ---------------------------------------------------------------------------
+
+RELEASES = [0, 200, 200, 900, 1500, 1500, 1500, 4000]
+
+
+class TestOfflineEquivalence:
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_single_deployment_matches_trace(self, arch, tier):
+        handle, completions, live = _run(
+            _script(_deployment(arch, tier=tier), RELEASES)
+        )
+        offline = _deployment(arch, tier=tier).run_trace(RELEASES)
+        assert live.to_dict() == offline.to_dict()
+        assert [c.finish_cycle for c in completions] == live.input_finishes
+        assert [c.latency_cycles for c in completions] == [
+            f - r for f, r in zip(live.input_finishes, RELEASES)
+        ]
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    @pytest.mark.parametrize("policy", ["rr", "jsq"])
+    def test_fleet_matches_trace(self, arch, tier, policy):
+        fleet_kw = dict(replicas=2, policy=policy)
+        handle, completions, live = _run(
+            _script(_fleet(arch, tier=tier, **fleet_kw), RELEASES)
+        )
+        offline = _fleet(arch, tier=tier, **fleet_kw).run_trace(RELEASES)
+        assert live.to_dict() == offline.to_dict()
+        assert [c.replica for c in completions] == live.assignments
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_faulted_fleet_matches_trace(self, arch, tier):
+        plan = FaultPlan(
+            events=(ReplicaCrash(replica=1, at_cycle=1000),),
+            retry=RetryPolicy(max_attempts=3, backoff_cycles=50),
+        )
+        handle, completions, live = _run(_script(
+            _fleet(arch, tier=tier, replicas=2), RELEASES, faults=plan,
+        ))
+        offline = _fleet(arch, tier=tier, replicas=2).run_trace(
+            RELEASES, faults=plan
+        )
+        assert live.to_dict() == offline.to_dict()
+        assert live.submitted == live.completed + live.dropped
+
+    @pytest.mark.parametrize("tier", ["cyclesim", "fast"])
+    def test_resident_session_matches_trace(self, arch, tier):
+        dep_kw = dict(resident_weights=True)
+        handle, completions, live = _run(
+            _script(_deployment(arch, tier=tier, **dep_kw), RELEASES)
+        )
+        offline = _deployment(arch, tier=tier, **dep_kw).run_trace(RELEASES)
+        assert live.to_dict() == offline.to_dict()
+        assert live.load_cycles > 0
+        warm = [
+            e for e in handle.events
+            if type(e).__name__ == "ReplicaStateChanged"
+            and e.state == "warm"
+        ]
+        assert len(warm) == 1
+        assert warm[0].at_cycle == live.load_cycles
+
+    def test_resident_fleet_matches_trace(self, arch):
+        kw = dict(replicas=2, resident_weights=True)
+        handle, completions, live = _run(_script(_fleet(arch, **kw), RELEASES))
+        offline = _fleet(arch, **kw).run_trace(RELEASES)
+        assert live.to_dict() == offline.to_dict()
+
+    def test_empty_session_drains_to_empty_report(self, arch):
+        handle, completions, live = _run(_script(_deployment(arch), []))
+        assert live.batch == 0
+        assert completions == []
+
+
+# ---------------------------------------------------------------------------
+# Futures resolve with the promised cycles
+# ---------------------------------------------------------------------------
+
+class TestCompletionFutures:
+    def test_unfaulted_future_resolves_at_admission(self, arch):
+        async def scenario():
+            clock = VirtualClock()
+            handle = await _deployment(arch).serve_forever(clock=clock)
+            future = await handle.submit(at=0)
+            completion = await future  # resolves before drain
+            assert handle.report is None
+            assert completion.completed
+            assert completion.replica == 0
+            assert completion.latency_cycles == completion.finish_cycle
+            report = await handle.drain()
+            assert completion.finish_cycle == report.input_finishes[0]
+
+        _run(scenario())
+
+    def test_dropped_request_resolves_with_reason(self, arch):
+        # Every attempt fails transiently -> max_attempts exhausts.
+        plan = FaultPlan(
+            events=(TransientRequestFailure(prob=1.0, seed=7),),
+            retry=RetryPolicy(max_attempts=2, backoff_cycles=10),
+        )
+        async def scenario():
+            fleet = _fleet(arch, tier="fast", replicas=2)
+            handle = await fleet.serve_forever(
+                clock=VirtualClock(), faults=plan
+            )
+            futures = [await handle.submit(at=i * 100) for i in range(4)]
+            report = await handle.drain()
+            completions = [await f for f in futures]
+            assert all(c.dropped for c in completions)
+            assert all(c.status == DROP_MAX_ATTEMPTS for c in completions)
+            assert all(c.replica == -1 for c in completions)
+            assert all(c.latency_cycles is None for c in completions)
+            assert all(c.attempts == 2 for c in completions)
+            assert report.dropped == 4
+
+        _run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# Determinism: byte-identical event streams
+# ---------------------------------------------------------------------------
+
+def _event_bytes(handle):
+    return json.dumps([e.to_dict() for e in handle.events]).encode()
+
+
+class TestDeterminism:
+    def test_scripted_session_is_byte_identical(self, arch):
+        runs = []
+        for _ in range(2):
+            handle, _, report = _run(
+                _script(_fleet(arch, tier="fast", replicas=3,
+                               policy="jsq"), RELEASES)
+            )
+            runs.append((
+                _event_bytes(handle),
+                json.dumps(report.to_dict(), sort_keys=True).encode(),
+            ))
+        assert runs[0] == runs[1]
+
+    def test_mid_stream_crash_is_byte_identical(self, arch):
+        plan = FaultPlan(
+            events=(
+                ReplicaCrash(replica=0, at_cycle=800),
+                TransientRequestFailure(prob=0.5, seed=3),
+            ),
+            retry=RetryPolicy(
+                max_attempts=3, backoff_cycles=25,
+                per_request_deadline_cycles=100_000,
+            ),
+        )
+        runs = []
+        for _ in range(2):
+            handle, _, report = _run(_script(
+                _fleet(arch, tier="fast", replicas=2), RELEASES,
+                faults=plan,
+            ))
+            runs.append((
+                _event_bytes(handle),
+                json.dumps(report.to_dict(), sort_keys=True).encode(),
+            ))
+        assert runs[0] == runs[1]
+        crashed = [
+            e for e in handle.events
+            if type(e).__name__ == "ReplicaStateChanged"
+            and e.state == "crashed"
+        ]
+        assert [e.replica for e in crashed] == [0]
+
+    def test_event_stream_covers_every_request(self, arch):
+        handle, completions, report = _run(
+            _script(_fleet(arch, tier="fast", replicas=2), RELEASES)
+        )
+        admitted = [
+            e.request for e in handle.events
+            if type(e).__name__ == "RequestAdmitted"
+        ]
+        completed = [
+            e.request for e in handle.events
+            if type(e).__name__ == "RequestCompleted"
+        ]
+        assert admitted == list(range(len(RELEASES)))
+        assert completed == list(range(len(RELEASES)))
+
+    def test_subscriber_sees_the_recorded_stream(self, arch):
+        async def scenario():
+            clock = VirtualClock()
+            handle = await _deployment(arch).serve_forever(clock=clock)
+            queue = handle.subscribe()
+            for release in RELEASES:
+                clock.advance_to(release)
+                await handle.submit()
+            await handle.drain()
+            streamed = []
+            while True:
+                event = await queue.get()
+                if event is None:
+                    break
+                streamed.append(event)
+            # The initial replica-state event fired before subscribe().
+            assert streamed == handle.events[1:]
+
+        _run(scenario())

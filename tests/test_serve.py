@@ -93,6 +93,28 @@ class TestArrivalProcesses:
         assert latency_percentile([7], 99) == 7
         assert latency_percentile([], 99) == 0
 
+    def test_latency_percentile_rejects_out_of_range_pct(self):
+        for pct in (0, -3, 150, 100.001):
+            with pytest.raises(ConfigError, match="percentile"):
+                latency_percentile([10, 20], pct)
+
+    def test_latency_percentile_boundary_ranks(self):
+        # n=1: every valid percentile is the single element.
+        assert latency_percentile([42], 0.5) == 42
+        assert latency_percentile([42], 100) == 42
+        # n=2: nearest-rank flips between the elements at pct 50.
+        assert latency_percentile([10, 20], 50) == 10
+        assert latency_percentile([10, 20], 51) == 20
+        assert latency_percentile([10, 20], 100) == 20
+
+    def test_trace_must_be_non_decreasing(self):
+        with pytest.raises(ConfigError, match="non-decreasing"):
+            TraceArrivals([100, 50])
+        # Equal (tied) arrivals are a legal burst.
+        assert TraceArrivals([0, 50, 50, 90]).release_cycles(4, 1.0) == [
+            0, 50, 50, 90,
+        ]
+
 
 # ---------------------------------------------------------------------------
 # The generalised schedule (shared by both tiers)
